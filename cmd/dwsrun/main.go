@@ -1,0 +1,131 @@
+// Command dwsrun co-runs real kernels on the live work-stealing runtime
+// and reports per-run wall times and scheduler counters.
+//
+// Examples:
+//
+//	dwsrun -a FFT -b Mergesort -policy DWS -cores 8 -runs 3
+//	dwsrun -a Heat -policy ABP           # solo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"dws/internal/bench"
+	"dws/internal/rt"
+	"dws/internal/task"
+)
+
+func main() {
+	var (
+		aName  = flag.String("a", "FFT", "first benchmark (FFT|Mergesort|Heat|Cholesky)")
+		bName  = flag.String("b", "", "second benchmark (empty = run -a solo)")
+		policy = flag.String("policy", "DWS", "ABP|EP|DWS|DWS-NC")
+		cores  = flag.Int("cores", 8, "core slots (sets GOMAXPROCS)")
+		runs   = flag.Int("runs", 3, "runs per program")
+		size   = flag.Float64("size", 0.25, "input scale")
+		record = flag.Bool("record", false, "record -a's fork-join structure into a task graph and print its metrics instead of running it")
+	)
+	flag.Parse()
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	benches := bench.LiveBenches(*size)
+	find := func(name string) (bench.LiveBench, error) {
+		for _, lb := range benches {
+			if strings.EqualFold(lb.Name, name) {
+				return lb, nil
+			}
+		}
+		return bench.LiveBench{}, fmt.Errorf("unknown benchmark %q", name)
+	}
+	a, err := find(*aName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *record {
+		g := rt.RecordGraph(a.Name, 0.5, a.NewTask())
+		if err := task.Validate(g); err != nil {
+			fatal(err)
+		}
+		m := task.Analyze(g)
+		fmt.Printf("recorded %s: %v\n", a.Name, m)
+		return
+	}
+
+	if runtime.NumCPU() < 2 {
+		fmt.Fprintln(os.Stderr,
+			"dwsrun: note: single-CPU host — policy wall-clock differences are not meaningful; use dwsbench for the simulator figures")
+	}
+
+	if *bName == "" {
+		if err := runSolo(pol, *cores, *runs, a); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	b, err := find(*bName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := bench.RunLiveMix(pol, *cores, *runs, a, b)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("policy=%v cores=%d runs=%d\n", pol, *cores, *runs)
+	for i := 0; i < 2; i++ {
+		fmt.Printf("%-10s mean=%.3fs stats=%+v\n", res.Names[i], res.MeanSec[i], res.Stats[i])
+	}
+}
+
+func runSolo(pol rt.Policy, cores, runs int, lb bench.LiveBench) error {
+	prev := runtime.GOMAXPROCS(cores)
+	defer runtime.GOMAXPROCS(prev)
+	sys, err := rt.NewSystem(rt.Config{Cores: cores, Programs: 1, Policy: pol})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	p, err := sys.NewProgram(lb.Name)
+	if err != nil {
+		return err
+	}
+	var total time.Duration
+	for r := 0; r < runs; r++ {
+		task := lb.NewTask()
+		start := time.Now()
+		if err := p.Run(task); err != nil {
+			return err
+		}
+		total += time.Since(start)
+	}
+	fmt.Printf("policy=%v cores=%d %s solo mean=%.3fs stats=%+v\n",
+		pol, cores, lb.Name, total.Seconds()/float64(runs), p.Stats())
+	return nil
+}
+
+func parsePolicy(s string) (rt.Policy, error) {
+	switch strings.ToUpper(s) {
+	case "ABP":
+		return rt.ABP, nil
+	case "EP":
+		return rt.EP, nil
+	case "DWS":
+		return rt.DWS, nil
+	case "DWS-NC", "DWSNC":
+		return rt.DWSNC, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dwsrun: %v\n", err)
+	os.Exit(1)
+}

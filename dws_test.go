@@ -1,0 +1,72 @@
+package dws_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dws"
+)
+
+// TestFacadeSim exercises the simulator through the public API.
+func TestFacadeSim(t *testing.T) {
+	cfg := dws.DefaultSimConfig()
+	cfg.Policy = dws.SimDWS
+	b, err := dws.WorkloadByID("p-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dws.NewSimMachine(cfg, []*dws.Graph{b.Make(0.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(dws.SimRunOpts{TargetRuns: 2, HorizonUS: 60_000_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Programs[0].Runs() < 2 {
+		t.Fatalf("runs = %d", res.Programs[0].Runs())
+	}
+}
+
+// TestFacadeRuntime exercises the live runtime through the public API.
+func TestFacadeRuntime(t *testing.T) {
+	sys, err := dws.NewSystem(dws.RuntimeConfig{
+		Cores: 4, Programs: 1, Policy: dws.PolicyDWS,
+		CoordPeriod: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	prog, err := sys.NewProgram("facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	err = prog.Run(func(c *dws.Ctx) {
+		for i := 0; i < 16; i++ {
+			c.Spawn(func(*dws.Ctx) { n.Add(1) })
+		}
+		c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 16 {
+		t.Fatalf("ran %d tasks, want 16", n.Load())
+	}
+}
+
+// TestWorkloadsComplete: all eight Table 2 entries are exposed.
+func TestWorkloadsComplete(t *testing.T) {
+	ws := dws.Workloads()
+	if len(ws) != 8 {
+		t.Fatalf("Workloads() has %d entries, want 8", len(ws))
+	}
+	for _, w := range ws {
+		if g := w.Make(0.1); g.Name != w.Name {
+			t.Errorf("%s: graph name %q", w.ID, g.Name)
+		}
+	}
+}

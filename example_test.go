@@ -1,0 +1,83 @@
+package dws_test
+
+import (
+	"fmt"
+	"time"
+
+	"dws"
+)
+
+// ExampleNewSystem shows the minimal live-runtime workflow: one program,
+// fork-join tasks, scheduler counters.
+func ExampleNewSystem() {
+	sys, err := dws.NewSystem(dws.RuntimeConfig{
+		Cores: 4, Programs: 1, Policy: dws.PolicyDWS,
+		CoordPeriod: 2 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	prog, err := sys.NewProgram("example")
+	if err != nil {
+		panic(err)
+	}
+	sum := 0
+	err = prog.Run(func(c *dws.Ctx) {
+		sum = dws.ParallelReduce(c, 100, 10,
+			func(lo, hi int) int {
+				s := 0
+				for i := lo; i < hi; i++ {
+					s += i
+				}
+				return s
+			},
+			func(a, b int) int { return a + b })
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sum)
+	// Output: 4950
+}
+
+// ExampleNewSimMachine reproduces a miniature of the paper's headline
+// experiment: FFT and Mergesort co-running under DWS on the simulated
+// 16-core machine.
+func ExampleNewSimMachine() {
+	fft, _ := dws.WorkloadByID("p-1")
+	ms, _ := dws.WorkloadByID("p-8")
+
+	cfg := dws.DefaultSimConfig()
+	cfg.Policy = dws.SimDWS
+	m, err := dws.NewSimMachine(cfg, []*dws.Graph{fft.Make(0.1), ms.Make(0.1)})
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.Run(dws.SimRunOpts{TargetRuns: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Programs[0].Name, res.Programs[0].Runs() >= 2)
+	fmt.Println(res.Programs[1].Name, res.Programs[1].Runs() >= 2)
+	// Output:
+	// FFT true
+	// Mergesort true
+}
+
+// ExampleWorkloads lists the paper's Table 2.
+func ExampleWorkloads() {
+	for _, b := range dws.Workloads() {
+		fmt.Println(b.ID, b.Name)
+	}
+	// Output:
+	// p-1 FFT
+	// p-2 PNN
+	// p-3 Cholesky
+	// p-4 LU
+	// p-5 GE
+	// p-6 Heat
+	// p-7 SOR
+	// p-8 Mergesort
+}

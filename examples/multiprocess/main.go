@@ -1,0 +1,154 @@
+//go:build linux || darwin
+
+// Multiprocess: the paper's §3.4 implementation detail, live.
+//
+// "The first-launched work-stealing program creates a new file and maps
+// the file into the shared memory using mmap()" — this example launches
+// three child processes that coordinate core ownership of an 8-core
+// machine purely through the mmap-backed core allocation table, with no
+// parent arbitration: each child claims its even home share, then for a
+// while releases cores it "cannot use" and claims free ones, exactly the
+// moves DWS programs make.
+//
+//	go run ./examples/multiprocess
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"dws/internal/coretable"
+)
+
+const (
+	cores    = 8
+	programs = 3
+)
+
+func main() {
+	if idx := os.Getenv("DWS_CHILD"); idx != "" {
+		child(idx)
+		return
+	}
+	parent()
+}
+
+func parent() {
+	dir, err := os.MkdirTemp("", "dws-table-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "core.table")
+
+	// First-launcher creates the table (children re-open the same file).
+	table, err := coretable.OpenFile(path, cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer table.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cmds []*exec.Cmd
+	for i := 0; i < programs; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"DWS_CHILD="+strconv.Itoa(i),
+			"DWS_TABLE="+path,
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	for range cmds {
+		fmt.Printf("parent: table now: %s\n", table)
+		time.Sleep(40 * time.Millisecond)
+	}
+	for _, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			log.Fatalf("child failed: %v", err)
+		}
+	}
+	fmt.Printf("parent: final table: %s\n", table)
+	if free := table.FreeCores(); len(free) != cores {
+		log.Fatalf("children exited without releasing all cores: %v", table)
+	}
+	fmt.Println("parent: all cores released — cross-process protocol OK")
+}
+
+func child(idxStr string) {
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := coretable.OpenFile(os.Getenv("DWS_TABLE"), cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer table.Close()
+
+	pid := int32(idx + 1)
+	rng := rand.New(rand.NewSource(int64(idx) + 1))
+
+	// Take the even home share (§3.1).
+	home := coretable.HomeCores(cores, programs, idx)
+	owned := map[int]bool{}
+	for _, c := range home {
+		if table.ClaimFree(c, pid) {
+			owned[c] = true
+		}
+	}
+	fmt.Printf("child %d: claimed home %v\n", pid, keys(owned))
+
+	// Demand-driven churn: release something, try to grab something.
+	for i := 0; i < 25; i++ {
+		if len(owned) > 0 && rng.Intn(2) == 0 {
+			for c := range owned {
+				if table.Release(c, pid) {
+					delete(owned, c)
+				}
+				break
+			}
+		} else {
+			free := table.FreeCores()
+			if len(free) > 0 {
+				c := free[rng.Intn(len(free))]
+				if table.ClaimFree(c, pid) {
+					owned[c] = true
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Printf("child %d: peak-phase cores %v\n", pid, keys(owned))
+
+	// Program exit: release everything.
+	for c := range owned {
+		table.Release(c, pid)
+	}
+}
+
+func keys(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j-1] > ks[j]; j-- {
+			ks[j-1], ks[j] = ks[j], ks[j-1]
+		}
+	}
+	return ks
+}

@@ -1,0 +1,80 @@
+// Quickstart: a minimal fork-join program on the DWS live runtime.
+//
+// It sorts a slice with a parallel mergesort expressed directly against
+// the public Spawn/Sync API, then prints the scheduler counters — watch
+// the Sleeps/Wakes columns to see the demand-aware behaviour.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"dws"
+)
+
+func main() {
+	sys, err := dws.NewSystem(dws.RuntimeConfig{
+		Cores:    8,
+		Programs: 1,
+		Policy:   dws.PolicyDWS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	prog, err := sys.NewProgram("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	data := make([]int, 1_000_000)
+	for i := range data {
+		data[i] = rng.Int()
+	}
+
+	if err := prog.Run(parallelSort(data)); err != nil {
+		log.Fatal(err)
+	}
+
+	if !sort.IntsAreSorted(data) {
+		log.Fatal("output is not sorted")
+	}
+	fmt.Println("sorted 1,000,000 integers")
+	fmt.Printf("scheduler stats: %+v\n", prog.Stats())
+}
+
+// parallelSort builds a divide-and-conquer sorting task: halves are
+// spawned (stealable by other workers), merges are sequential.
+func parallelSort(a []int) dws.Task {
+	return func(c *dws.Ctx) {
+		if len(a) < 50_000 {
+			sort.Ints(a)
+			return
+		}
+		mid := len(a) / 2
+		left, right := a[:mid], a[mid:]
+		c.Spawn(parallelSort(left))
+		c.Spawn(parallelSort(right))
+		c.Sync()
+		merged := make([]int, 0, len(a))
+		i, j := 0, 0
+		for i < len(left) && j < len(right) {
+			if left[i] <= right[j] {
+				merged = append(merged, left[i])
+				i++
+			} else {
+				merged = append(merged, right[j])
+				j++
+			}
+		}
+		merged = append(merged, left[i:]...)
+		merged = append(merged, right[j:]...)
+		copy(a, merged)
+	}
+}

@@ -1,0 +1,46 @@
+// Tsleep: the paper's Fig. 6 sensitivity study in miniature.
+//
+// Mix (1,8) runs under DWS with T_SLEEP swept from 1 to 128. Small values
+// make workers sleep at the slightest drought (wake churn); large values
+// make idle workers hoard their cores with useless steal attempts. The
+// best settings sit near k and 2k, as the paper reports.
+//
+//	go run ./examples/tsleep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dws"
+)
+
+func main() {
+	fft, err := dws.WorkloadByID("p-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := dws.WorkloadByID("p-8")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const scale = 0.5
+	fmt.Println("mix (1,8) under DWS, 16 simulated cores (k=16)")
+	fmt.Printf("%8s %12s %12s\n", "T_SLEEP", "FFT", "Mergesort")
+	for _, ts := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := dws.DefaultSimConfig()
+		cfg.Policy = dws.SimDWS
+		cfg.TSleep = ts
+		m, err := dws.NewSimMachine(cfg, []*dws.Graph{fft.Make(scale), ms.Make(scale)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run(dws.SimRunOpts{TargetRuns: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %10.1fms %10.1fms\n", ts,
+			res.Programs[0].MeanRunUS()/1000, res.Programs[1].MeanRunUS()/1000)
+	}
+}

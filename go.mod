@@ -1,0 +1,3 @@
+module dws
+
+go 1.22

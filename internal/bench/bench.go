@@ -1,0 +1,131 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§4) on the simulator substrate.
+//
+// It implements the paper's co-run methodology (Fig. 3, Eq. 2): two
+// benchmarks are launched together and each re-runs back-to-back until both
+// have completed a target number of runs, so their executions fully
+// overlap; the reported time is the per-run mean. Solo baselines run each
+// benchmark alone under plain work-stealing on all cores.
+package bench
+
+import (
+	"fmt"
+
+	"dws/internal/sim"
+	"dws/internal/task"
+	"dws/internal/workload"
+)
+
+// Options configure an experiment.
+type Options struct {
+	// Cfg is the base machine configuration; experiments override Policy
+	// (and TSleep / CoordPeriodUS for the sweeps).
+	Cfg sim.Config
+	// Scale scales all task durations (1.0 = full size; tests use less).
+	Scale float64
+	// TargetRuns is how many runs each program must complete (≥1).
+	TargetRuns int
+}
+
+// DefaultOptions returns the configuration used for the reported numbers:
+// the default 16-core machine, full-scale workloads, 4 runs per program.
+func DefaultOptions() Options {
+	return Options{Cfg: sim.DefaultConfig(), Scale: 1.0, TargetRuns: 4}
+}
+
+func (o *Options) normalize() {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.TargetRuns < 1 {
+		o.TargetRuns = 4
+	}
+	if o.Cfg.Cores == 0 {
+		o.Cfg = sim.DefaultConfig()
+	}
+}
+
+// horizon bounds a simulation generously relative to the expected run
+// volume so a misbehaving configuration errors out instead of spinning.
+func (o *Options) horizon(graphs ...*task.Graph) int64 {
+	var work int64
+	for _, g := range graphs {
+		work += task.Analyze(g).Work
+	}
+	// All work serialised on one core, per target run, ×4 margin, +10s.
+	return 4*work*int64(o.TargetRuns) + 10_000_000
+}
+
+// Solo runs g alone under the given policy and returns the mean run time
+// in µs.
+func Solo(opts Options, pol sim.Policy, g *task.Graph) (float64, error) {
+	opts.normalize()
+	cfg := opts.Cfg
+	cfg.Policy = pol
+	m, err := sim.NewMachine(cfg, []*task.Graph{g})
+	if err != nil {
+		return 0, err
+	}
+	res, err := m.Run(sim.RunOpts{TargetRuns: opts.TargetRuns, HorizonUS: opts.horizon(g)})
+	if err != nil {
+		return 0, fmt.Errorf("solo %s under %v: %w", g.Name, pol, err)
+	}
+	return res.Programs[0].MeanRunUS(), nil
+}
+
+// MixResult is the outcome of one co-run of two benchmarks under one
+// policy.
+type MixResult struct {
+	// Policy the mix ran under.
+	Policy sim.Policy
+	// MeanUS is each program's mean run time.
+	MeanUS [2]float64
+	// Results carries the raw simulation output (counters etc.).
+	Results *sim.Results
+}
+
+// RunMix co-runs graphs a and b under pol using the Fig. 3 methodology.
+func RunMix(opts Options, pol sim.Policy, a, b *task.Graph) (MixResult, error) {
+	opts.normalize()
+	cfg := opts.Cfg
+	cfg.Policy = pol
+	m, err := sim.NewMachine(cfg, []*task.Graph{a, b})
+	if err != nil {
+		return MixResult{}, err
+	}
+	res, err := m.Run(sim.RunOpts{TargetRuns: opts.TargetRuns, HorizonUS: opts.horizon(a, b)})
+	if err != nil {
+		return MixResult{}, fmt.Errorf("mix (%s,%s) under %v: %w", a.Name, b.Name, pol, err)
+	}
+	return MixResult{
+		Policy:  pol,
+		MeanUS:  [2]float64{res.Programs[0].MeanRunUS(), res.Programs[1].MeanRunUS()},
+		Results: res,
+	}, nil
+}
+
+// Mix identifies a benchmark pair by the paper's two-tuple notation (i, j).
+type Mix struct{ I, J int }
+
+func (m Mix) String() string { return fmt.Sprintf("(%d,%d)", m.I, m.J) }
+
+// Graphs builds the two benchmarks' graphs at the given scale.
+func (m Mix) Graphs(scale float64) (*task.Graph, *task.Graph, error) {
+	bi, err := workload.ByID(fmt.Sprintf("p-%d", m.I))
+	if err != nil {
+		return nil, nil, err
+	}
+	bj, err := workload.ByID(fmt.Sprintf("p-%d", m.J))
+	if err != nil {
+		return nil, nil, err
+	}
+	return bi.Make(scale), bj.Make(scale), nil
+}
+
+// DefaultMixes is the documented fixed set of eight benchmark mixes used
+// for Figs. 4 and 5 (the paper shows eight of the possible pairs without
+// naming them; this set covers wide//narrow, wide//wide, shrinking//
+// shrinking and data-intensive//data-intensive pairings).
+var DefaultMixes = []Mix{
+	{1, 8}, {2, 7}, {3, 4}, {5, 6}, {1, 2}, {3, 8}, {4, 7}, {5, 8},
+}

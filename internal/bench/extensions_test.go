@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"dws/internal/sim"
+	"dws/internal/stats"
+)
+
+// TestRelatedWorkOrdering: DWS ≤ BWS ≤ ABP for most program instances
+// (the §5 positioning).
+func TestRelatedWorkOrdering(t *testing.T) {
+	opts := testOptions()
+	outcomes, err := RelatedWork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwsNotWorseThanABP, dwsNotWorseThanBWS, total := 0, 0, 0
+	for _, o := range outcomes {
+		for i := 0; i < 2; i++ {
+			total++
+			if o.MeanUS[sim.BWS][i] <= o.MeanUS[sim.ABP][i]*1.05 {
+				bwsNotWorseThanABP++
+			}
+			if o.MeanUS[sim.DWS][i] <= o.MeanUS[sim.BWS][i]*1.05 {
+				dwsNotWorseThanBWS++
+			}
+		}
+	}
+	t.Logf("BWS<=ABP on %d/%d, DWS<=BWS on %d/%d", bwsNotWorseThanABP, total, dwsNotWorseThanBWS, total)
+	if bwsNotWorseThanABP < total*3/4 {
+		t.Errorf("BWS beat ABP on only %d/%d instances", bwsNotWorseThanABP, total)
+	}
+	if dwsNotWorseThanBWS < total*3/4 {
+		t.Errorf("DWS beat BWS on only %d/%d instances", dwsNotWorseThanBWS, total)
+	}
+	if tb := RelatedWorkTable(outcomes); !strings.Contains(tb.String(), "BWS") {
+		t.Error("table missing BWS column")
+	}
+}
+
+// TestScaleM: DWS stays the best (or tied-best) policy as m grows, and
+// slowdowns grow roughly with m.
+func TestScaleM(t *testing.T) {
+	opts := testOptions()
+	opts.Scale = 0.5
+	rows, err := ScaleM(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		abp := stats.GeoMean(r.NormFor[sim.ABP])
+		dws := stats.GeoMean(r.NormFor[sim.DWS])
+		t.Logf("m=%d: ABP=%.2f EP=%.2f DWS=%.2f", r.M, abp,
+			stats.GeoMean(r.NormFor[sim.EP]), dws)
+		if dws > abp*1.02 {
+			t.Errorf("m=%d: DWS geomean %.2f worse than ABP %.2f", r.M, dws, abp)
+		}
+		// Sanity: with m co-runners, nothing runs faster than ~1/2 solo
+		// nor absurdly slow.
+		if dws < 0.5 || dws > float64(r.M)*3 {
+			t.Errorf("m=%d: implausible DWS geomean %.2f", r.M, dws)
+		}
+	}
+	if tb := ScaleMTable(rows); len(tb.Rows) != 3 {
+		t.Error("ScaleMTable row count")
+	}
+}
+
+// TestAsymmetricExperiment: intensity-aware placement helps the
+// compute-bound program on an asymmetric machine.
+func TestAsymmetricExperiment(t *testing.T) {
+	opts := testOptions()
+	opts.Scale = 0.5
+	rows, names, err := Asymmetric(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	naive, smart := rows[0], rows[1]
+	t.Logf("%s/%s naive=%v smart=%v", names[0], names[1], naive.MeanUS, smart.MeanUS)
+	if smart.MeanUS[1] >= naive.MeanUS[1] {
+		t.Errorf("intensity placement did not help the compute-bound program: %v vs %v",
+			smart.MeanUS[1], naive.MeanUS[1])
+	}
+	if tb := AsymmetricTable(rows, names); len(tb.Rows) != 2 {
+		t.Error("AsymmetricTable row count")
+	}
+}
+
+// TestSharingExperiment: sharing+DWS beats sharing+ABP on every mix.
+func TestSharingExperiment(t *testing.T) {
+	opts := testOptions()
+	opts.Scale = 0.5
+	rows, err := Sharing(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%v %v ABP=%v DWS=%v", r.Mix, r.Names, r.ABPUS, r.DWSUS)
+		for i := 0; i < 2; i++ {
+			if r.DWSUS[i] > r.ABPUS[i]*1.10 {
+				t.Errorf("%v %s: sharing+DWS (%.0f) much worse than sharing+ABP (%.0f)",
+					r.Mix, r.Names[i], r.DWSUS[i], r.ABPUS[i])
+			}
+		}
+	}
+	if tb := SharingTable(rows); len(tb.Rows) != 3 {
+		t.Error("SharingTable row count")
+	}
+}
+
+// TestElasticityExperiment: DWS runs at near-solo speed while alone; EP
+// cannot.
+func TestElasticityExperiment(t *testing.T) {
+	opts := testOptions()
+	opts.Scale = 0.5
+	rows, names, err := Elasticity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byPol := map[sim.Policy]ElasticityRow{}
+	for _, r := range rows {
+		byPol[r.Policy] = r
+		t.Logf("%-4v alone=%.0f corun=%.0f late=%.0f", r.Policy, r.BeforeUS, r.AfterUS, r.LateUS)
+	}
+	dws, ep := byPol[sim.DWS], byPol[sim.EP]
+	if dws.BeforeUS > 0.75*ep.BeforeUS {
+		t.Errorf("DWS alone (%.0f) should clearly beat EP alone (%.0f)", dws.BeforeUS, ep.BeforeUS)
+	}
+	if dws.BeforeUS > 0.9*dws.AfterUS {
+		t.Errorf("DWS should contract on arrival: alone=%.0f corun=%.0f", dws.BeforeUS, dws.AfterUS)
+	}
+	if tb := ElasticityTable(rows, names); len(tb.Rows) != 3 {
+		t.Error("ElasticityTable row count")
+	}
+}
+
+// TestVariance: the DWS-beats-ABP conclusion holds across seeds, with
+// confidence intervals far smaller than the policy gaps.
+func TestVariance(t *testing.T) {
+	opts := testOptions()
+	opts.Scale = 0.5
+	rows, names, err := Variance(opts, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPol := map[sim.Policy]VarianceRow{}
+	for _, r := range rows {
+		byPol[r.Policy] = r
+		t.Logf("%-4v %s=%s %s=%s", r.Policy, names[0], r.A.String(), names[1], r.B.String())
+	}
+	abp, dws := byPol[sim.ABP], byPol[sim.DWS]
+	if dws.A.Mean+dws.A.CI95() >= abp.A.Mean-abp.A.CI95() {
+		t.Errorf("DWS vs ABP gap for %s not robust: %v vs %v", names[0], dws.A, abp.A)
+	}
+	if tb := VarianceTable(rows, names); len(tb.Rows) != 3 {
+		t.Error("VarianceTable rows")
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"dws/internal/rt"
+)
+
+func TestLiveBenchesRunnable(t *testing.T) {
+	for _, lb := range LiveBenches(0.02) {
+		lb := lb
+		t.Run(lb.Name, func(t *testing.T) {
+			r, err := RunLiveMix(rt.DWS, 2, 1, lb, lb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if r.MeanSec[i] <= 0 {
+					t.Fatalf("instance %d mean %v", i, r.MeanSec[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLiveMixAllPolicies(t *testing.T) {
+	benches := LiveBenches(0.02)
+	for _, pol := range []rt.Policy{rt.ABP, rt.EP, rt.DWS, rt.DWSNC} {
+		r, err := RunLiveMix(pol, 4, 2, benches[0], benches[1])
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if r.Names != [2]string{"FFT", "Mergesort"} {
+			t.Fatalf("%v: names %v", pol, r.Names)
+		}
+	}
+}
+
+func TestLiveMixTable(t *testing.T) {
+	tb, err := LiveMixTable(2, 1, 0.02, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 policies", len(tb.Rows))
+	}
+}
+
+func TestLiveMixTableBadIndex(t *testing.T) {
+	if _, err := LiveMixTable(2, 1, 0.02, 0, 99); err == nil {
+		t.Fatal("out-of-range bench index accepted")
+	}
+}

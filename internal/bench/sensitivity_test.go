@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestSensitivity: DWS's advantage over ABP on mix (1,8) survives every
+// machine-model variation (the simulator-credibility check).
+func TestSensitivity(t *testing.T) {
+	opts := testOptions()
+	opts.Scale = 0.5
+	rows, names, err := Sensitivity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-16s %s=%5.1f%% %s=%5.1f%%", r.Label, names[0], 100*r.GainA, names[1], 100*r.GainB)
+		if r.GainA < 0.02 {
+			t.Errorf("%s: DWS gain for %s only %.1f%%", r.Label, names[0], 100*r.GainA)
+		}
+		if r.GainB < 0.02 {
+			t.Errorf("%s: DWS gain for %s only %.1f%%", r.Label, names[1], 100*r.GainB)
+		}
+	}
+	if tb := SensitivityTable(rows, names); len(tb.Rows) != len(rows) {
+		t.Error("SensitivityTable row count")
+	}
+}

@@ -1,0 +1,227 @@
+// Package coretable implements the paper's core allocation table (§3.1,
+// Table 1): one entry per hardware core recording which program currently
+// occupies it, plus the claim/release/reclaim protocol DWS programs use to
+// exchange cores without a centralised OS allocator.
+//
+// Entry values: Free (0) means the core is released and may be claimed by
+// any program; a positive value is the occupying program's ID.
+//
+// Alongside each occupancy entry the table keeps an eviction flag: when a
+// home owner reclaims a core from a borrower it raises the flag, and the
+// borrower's worker — which polls the flag between tasks — stops and
+// sleeps. This fills in the reclaim mechanism the paper leaves unspecified
+// (see DESIGN.md §5).
+//
+// Two backings are provided: an in-memory table (used by the simulator and
+// the in-process live runtime) and a file-backed table mapped with mmap(2),
+// mirroring the paper's implementation where the first-launched program
+// creates the shared file (§3.4). Both expose the same methods via the
+// shared Table type.
+package coretable
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Free marks an unoccupied core.
+const Free int32 = 0
+
+// Table is a core allocation table over k cores. All methods are safe for
+// concurrent use by multiple programs' workers and coordinators.
+type Table struct {
+	k      int
+	occ    []atomic.Int32 // occupant program ID per core, Free if none
+	evict  []atomic.Int32 // 1 while an eviction of the occupant is pending
+	closer func() error   // non-nil for file-backed tables
+}
+
+// NewMem returns an in-memory table for k cores, all free.
+func NewMem(k int) *Table {
+	if k <= 0 {
+		panic(fmt.Sprintf("coretable: non-positive core count %d", k))
+	}
+	return &Table{
+		k:     k,
+		occ:   make([]atomic.Int32, k),
+		evict: make([]atomic.Int32, k),
+	}
+}
+
+// K returns the number of cores the table covers.
+func (t *Table) K() int { return t.k }
+
+func (t *Table) check(core int) {
+	if core < 0 || core >= t.k {
+		panic(fmt.Sprintf("coretable: core %d out of range [0,%d)", core, t.k))
+	}
+}
+
+func checkPID(pid int32) {
+	if pid <= 0 {
+		panic(fmt.Sprintf("coretable: invalid program id %d (must be positive)", pid))
+	}
+}
+
+// Occupant returns the program currently occupying core, or Free.
+func (t *Table) Occupant(core int) int32 {
+	t.check(core)
+	return t.occ[core].Load()
+}
+
+// ClaimFree atomically claims core for pid if it is free. It reports
+// whether the claim succeeded.
+func (t *Table) ClaimFree(core int, pid int32) bool {
+	t.check(core)
+	checkPID(pid)
+	return t.occ[core].CompareAndSwap(Free, pid)
+}
+
+// Release atomically frees core if pid occupies it. It reports whether the
+// release happened (false means someone else holds it, e.g. it was already
+// reclaimed out from under pid).
+func (t *Table) Release(core int, pid int32) bool {
+	t.check(core)
+	checkPID(pid)
+	if !t.occ[core].CompareAndSwap(pid, Free) {
+		return false
+	}
+	// A release completes any pending eviction of pid from this core.
+	t.evict[core].Store(0)
+	return true
+}
+
+// Reclaim atomically transfers core from borrower to owner and raises the
+// eviction flag so the borrower's worker stops at its next boundary. It
+// reports whether the transfer happened (false means borrower no longer
+// occupies the core).
+func (t *Table) Reclaim(core int, owner, borrower int32) bool {
+	t.check(core)
+	checkPID(owner)
+	checkPID(borrower)
+	if owner == borrower {
+		panic("coretable: Reclaim with owner == borrower")
+	}
+	if !t.occ[core].CompareAndSwap(borrower, owner) {
+		return false
+	}
+	t.evict[core].Store(1)
+	return true
+}
+
+// EvictionPending reports whether an eviction flag is raised for core.
+// The evicted worker observes this between tasks.
+func (t *Table) EvictionPending(core int) bool {
+	t.check(core)
+	return t.evict[core].Load() != 0
+}
+
+// AckEviction clears the eviction flag; the evicted worker calls this as
+// it stops running on the core.
+func (t *Table) AckEviction(core int) {
+	t.check(core)
+	t.evict[core].Store(0)
+}
+
+// Snapshot copies the occupancy array. It is a racy snapshot under
+// concurrency, which is all the coordinator needs (§3.3 reads the table
+// without locks).
+func (t *Table) Snapshot() []int32 {
+	s := make([]int32, t.k)
+	for i := range s {
+		s[i] = t.occ[i].Load()
+	}
+	return s
+}
+
+// FreeCores returns the indices of currently free cores (racy snapshot).
+func (t *Table) FreeCores() []int {
+	var free []int
+	for i := 0; i < t.k; i++ {
+		if t.occ[i].Load() == Free {
+			free = append(free, i)
+		}
+	}
+	return free
+}
+
+// CountOccupiedBy returns how many cores pid currently occupies.
+func (t *Table) CountOccupiedBy(pid int32) int {
+	n := 0
+	for i := 0; i < t.k; i++ {
+		if t.occ[i].Load() == pid {
+			n++
+		}
+	}
+	return n
+}
+
+// Close releases any resources behind the table (the mapping for
+// file-backed tables). It is a no-op for in-memory tables.
+func (t *Table) Close() error {
+	if t.closer != nil {
+		return t.closer()
+	}
+	return nil
+}
+
+// String renders the table like the paper's Table 1.
+func (t *Table) String() string {
+	s := "cores:"
+	for i := 0; i < t.k; i++ {
+		occ := t.occ[i].Load()
+		if occ == Free {
+			s += " -"
+		} else {
+			s += fmt.Sprintf(" p%d", occ)
+		}
+	}
+	return s
+}
+
+// HomeCores returns the paper's initial even allocation: program index idx
+// (0-based) of m co-running programs on k cores gets a contiguous block of
+// ⌈k/m⌉ or ⌊k/m⌋ adjacent cores, with the first k%m programs getting the
+// larger blocks. It panics on invalid arguments.
+func HomeCores(k, m, idx int) []int {
+	if k <= 0 || m <= 0 || idx < 0 || idx >= m {
+		panic(fmt.Sprintf("coretable: HomeCores(%d, %d, %d) out of range", k, m, idx))
+	}
+	base := k / m
+	extra := k % m
+	start := idx * base
+	if idx < extra {
+		start += idx
+	} else {
+		start += extra
+	}
+	size := base
+	if idx < extra {
+		size++
+	}
+	cores := make([]int, size)
+	for i := range cores {
+		cores[i] = start + i
+	}
+	return cores
+}
+
+// InstallHome claims every core in home for pid, overwriting whatever was
+// there. It is used once at experiment start to install the initial even
+// allocation (the paper's programs start space-shared).
+func (t *Table) InstallHome(home []int, pid int32) {
+	checkPID(pid)
+	for _, c := range home {
+		t.check(c)
+		t.occ[c].Store(pid)
+		t.evict[c].Store(0)
+	}
+}
+
+// Reset frees every core and clears all eviction flags.
+func (t *Table) Reset() {
+	for i := 0; i < t.k; i++ {
+		t.occ[i].Store(Free)
+		t.evict[i].Store(0)
+	}
+}

@@ -1,0 +1,43 @@
+package coretable_test
+
+import (
+	"fmt"
+
+	"dws/internal/coretable"
+)
+
+// Example walks the full DWS core-exchange protocol on an 8-core table:
+// even initial allocation, voluntary release, claim by a co-runner, and
+// reclaim with eviction.
+func Example() {
+	table := coretable.NewMem(8)
+
+	// Two programs take their even home shares (§3.1).
+	homeA := coretable.HomeCores(8, 2, 0)
+	homeB := coretable.HomeCores(8, 2, 1)
+	table.InstallHome(homeA, 1)
+	table.InstallHome(homeB, 2)
+	fmt.Println(table)
+
+	// Program 2 cannot use core 6: its worker sleeps and releases it.
+	table.Release(6, 2)
+
+	// Program 1's coordinator claims the free core.
+	fmt.Println("claimed:", table.ClaimFree(6, 1))
+	fmt.Println(table)
+
+	// Program 2's demand grows again: it reclaims its home core, raising
+	// the eviction flag for program 1's worker.
+	fmt.Println("reclaimed:", table.Reclaim(6, 2, 1))
+	fmt.Println("eviction pending:", table.EvictionPending(6))
+	table.AckEviction(6)
+	fmt.Println(table)
+
+	// Output:
+	// cores: p1 p1 p1 p1 p2 p2 p2 p2
+	// claimed: true
+	// cores: p1 p1 p1 p1 p2 p2 p1 p2
+	// reclaimed: true
+	// eviction pending: true
+	// cores: p1 p1 p1 p1 p2 p2 p2 p2
+}

@@ -1,0 +1,115 @@
+//go:build linux || darwin
+
+package coretable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// File-backed tables mirror the paper's implementation: the first-launched
+// work-stealing program creates a file and maps it into shared memory with
+// mmap(); later programs map the same file and cooperate through it (§3.4).
+//
+// Layout (little-endian int32 slots, all 4-byte aligned):
+//
+//	[0]   magic
+//	[1]   version
+//	[2]   k (number of cores)
+//	[3]   reserved
+//	[4..4+k)    occupancy entries
+//	[4+k..4+2k) eviction flags
+const (
+	fileMagic   = 0x44575354 // "DWST"
+	fileVersion = 1
+	headerSlots = 4
+)
+
+func fileSize(k int) int { return 4 * (headerSlots + 2*k) }
+
+// OpenFile creates or opens a file-backed core allocation table for k
+// cores at path and maps it into memory. Multiple processes opening the
+// same path share one table. The caller must Close the returned table.
+//
+// Creation is serialised with flock so concurrent first-launchers do not
+// both initialise the header.
+func OpenFile(path string, k int) (*Table, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("coretable: non-positive core count %d", k)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("coretable: open %s: %w", path, err)
+	}
+	defer f.Close() // the mapping outlives the descriptor
+
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		return nil, fmt.Errorf("coretable: flock %s: %w", path, err)
+	}
+	unlock := func() { _ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }
+
+	fi, err := f.Stat()
+	if err != nil {
+		unlock()
+		return nil, fmt.Errorf("coretable: stat %s: %w", path, err)
+	}
+	size := fileSize(k)
+	fresh := fi.Size() == 0
+	if fresh {
+		if err := f.Truncate(int64(size)); err != nil {
+			unlock()
+			return nil, fmt.Errorf("coretable: truncate %s: %w", path, err)
+		}
+		var hdr [16]byte
+		binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(k))
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			unlock()
+			return nil, fmt.Errorf("coretable: init header %s: %w", path, err)
+		}
+	} else if fi.Size() != int64(size) {
+		unlock()
+		return nil, fmt.Errorf("coretable: %s has size %d, want %d (k mismatch?)",
+			path, fi.Size(), size)
+	}
+
+	data, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		unlock()
+		return nil, fmt.Errorf("coretable: mmap %s: %w", path, err)
+	}
+	unlock()
+
+	slots := unsafe.Slice((*int32)(unsafe.Pointer(&data[0])), headerSlots+2*k)
+	if !fresh {
+		if uint32(slots[0]) != fileMagic {
+			_ = syscall.Munmap(data)
+			return nil, fmt.Errorf("coretable: %s: bad magic %#x", path, slots[0])
+		}
+		if slots[2] != int32(k) {
+			_ = syscall.Munmap(data)
+			return nil, fmt.Errorf("coretable: %s created for k=%d, want k=%d",
+				path, slots[2], k)
+		}
+	}
+
+	// Reinterpret the mapped int32 slots as atomic values. atomic.Int32 is
+	// a 4-byte struct wrapping an int32; the mapping is page-aligned and
+	// every slot is 4-byte aligned, so this is valid on all supported
+	// architectures.
+	t := &Table{
+		k:     k,
+		occ:   unsafe.Slice((*atomic.Int32)(unsafe.Pointer(&slots[headerSlots])), k),
+		evict: unsafe.Slice((*atomic.Int32)(unsafe.Pointer(&slots[headerSlots+k])), k),
+		closer: func() error {
+			return syscall.Munmap(data)
+		},
+	}
+	return t, nil
+}

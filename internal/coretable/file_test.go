@@ -1,0 +1,111 @@
+//go:build linux || darwin
+
+package coretable
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestFileTableBasics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dws.table")
+	tb, err := OpenFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if !tb.ClaimFree(3, 5) {
+		t.Fatal("claim failed")
+	}
+	if got := tb.Occupant(3); got != 5 {
+		t.Fatalf("Occupant = %d", got)
+	}
+}
+
+// TestFileTableShared opens the same file twice (as two "programs" would)
+// and checks that changes through one mapping are visible in the other.
+func TestFileTableShared(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dws.table")
+	a, err := OpenFile(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenFile(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if !a.ClaimFree(2, 1) {
+		t.Fatal("claim via a failed")
+	}
+	if got := b.Occupant(2); got != 1 {
+		t.Fatalf("mapping b sees occupant %d, want 1", got)
+	}
+	if b.ClaimFree(2, 2) {
+		t.Fatal("mapping b claimed an occupied core")
+	}
+	if !b.Reclaim(2, 3, 1) {
+		t.Fatal("reclaim via b failed")
+	}
+	if !a.EvictionPending(2) {
+		t.Fatal("eviction flag not visible through mapping a")
+	}
+}
+
+func TestFileTableKMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dws.table")
+	a, err := OpenFile(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := OpenFile(path, 8); err == nil {
+		t.Fatal("opening with mismatched k succeeded")
+	}
+}
+
+func TestFileTableBadK(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "x"), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestFileTableConcurrentMappings races claims through two mappings of the
+// same file; every core must end with exactly one occupant.
+func TestFileTableConcurrentMappings(t *testing.T) {
+	const k = 16
+	path := filepath.Join(t.TempDir(), "dws.table")
+	a, err := OpenFile(path, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenFile(path, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	claims := make([]int, 2)
+	for i, tb := range []*Table{a, b} {
+		wg.Add(1)
+		go func(i int, tb *Table) {
+			defer wg.Done()
+			n := 0
+			for c := 0; c < k; c++ {
+				if tb.ClaimFree(c, int32(i+1)) {
+					n++
+				}
+			}
+			claims[i] = n
+		}(i, tb)
+	}
+	wg.Wait()
+	if claims[0]+claims[1] != k {
+		t.Fatalf("claims = %v, want total %d", claims, k)
+	}
+}

@@ -1,0 +1,67 @@
+package coretable
+
+import "testing"
+
+// FuzzProtocol drives the table with arbitrary claim/release/reclaim
+// sequences and checks it against a trivial map model (differential
+// fuzzing of the CAS protocol).
+func FuzzProtocol(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0, 0, 1, 1, 2, 2})
+	f.Add([]byte{10, 20, 30, 40, 50})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const k, maxPID = 4, 3
+		tb := NewMem(k)
+		model := make([]int32, k)
+		evict := make([]bool, k)
+
+		for i := 0; i+2 < len(ops); i += 3 {
+			op := ops[i] % 4
+			core := int(ops[i+1]) % k
+			pid := int32(ops[i+2])%maxPID + 1
+			other := pid%maxPID + 1
+			switch op {
+			case 0: // claim
+				want := model[core] == 0
+				if got := tb.ClaimFree(core, pid); got != want {
+					t.Fatalf("op %d: ClaimFree = %v, model %v", i, got, want)
+				}
+				if want {
+					model[core] = pid
+				}
+			case 1: // release
+				want := model[core] == pid
+				if got := tb.Release(core, pid); got != want {
+					t.Fatalf("op %d: Release = %v, model %v", i, got, want)
+				}
+				if want {
+					model[core] = 0
+					evict[core] = false
+				}
+			case 2: // reclaim
+				want := model[core] == other
+				if got := tb.Reclaim(core, pid, other); got != want {
+					t.Fatalf("op %d: Reclaim = %v, model %v", i, got, want)
+				}
+				if want {
+					model[core] = pid
+					evict[core] = true
+				}
+			case 3: // ack eviction
+				tb.AckEviction(core)
+				evict[core] = false
+			}
+			// Full-state comparison after every op.
+			for c := 0; c < k; c++ {
+				if tb.Occupant(c) != model[c] {
+					t.Fatalf("op %d: core %d occupant %d, model %d",
+						i, c, tb.Occupant(c), model[c])
+				}
+				if tb.EvictionPending(c) != evict[c] {
+					t.Fatalf("op %d: core %d eviction %v, model %v",
+						i, c, tb.EvictionPending(c), evict[c])
+				}
+			}
+		}
+	})
+}

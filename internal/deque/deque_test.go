@@ -1,0 +1,390 @@
+package deque
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopLIFO(t *testing.T) {
+	d := New[int](4)
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		got := d.Pop()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("Pop = %v, want %d", got, vals[i])
+		}
+	}
+	if got := d.Pop(); got != nil {
+		t.Fatalf("Pop on empty = %v, want nil", got)
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := New[int](4)
+	vals := []int{10, 20, 30}
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	for i := range vals {
+		got := d.Steal()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("Steal = %v, want %d", got, vals[i])
+		}
+	}
+	if got := d.Steal(); got != nil {
+		t.Fatalf("Steal on empty = %v, want nil", got)
+	}
+}
+
+func TestPushNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push(nil) did not panic")
+		}
+	}()
+	New[int](4).Push(nil)
+}
+
+func TestLockedPushNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push(nil) did not panic")
+		}
+	}()
+	NewLocked[int](4).Push(nil)
+}
+
+func TestGrowth(t *testing.T) {
+	d := New[int](2)
+	if d.Cap() != minCapacity {
+		t.Fatalf("initial Cap = %d, want %d", d.Cap(), minCapacity)
+	}
+	n := 1000
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.Push(&vals[i])
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	if d.Cap() < n {
+		t.Fatalf("Cap = %d, want >= %d", d.Cap(), n)
+	}
+	// Everything must come back out exactly once, LIFO.
+	for i := n - 1; i >= 0; i-- {
+		got := d.Pop()
+		if got == nil || *got != i {
+			t.Fatalf("Pop = %v, want %d", got, i)
+		}
+	}
+}
+
+func TestGrowthPreservesAfterWrap(t *testing.T) {
+	// Interleave pushes and steals so positions wrap the ring before growth.
+	d := New[int](8)
+	vals := make([]int, 64)
+	next := 0
+	stolen := 0
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 6; i++ {
+			vals[next] = next
+			d.Push(&vals[next])
+			next++
+		}
+		for i := 0; i < 4; i++ {
+			got := d.Steal()
+			if got == nil || *got != stolen {
+				t.Fatalf("Steal = %v, want %d", got, stolen)
+			}
+			stolen++
+		}
+	}
+	for d.Len() > 0 {
+		got := d.Steal()
+		if got == nil || *got != stolen {
+			t.Fatalf("Steal = %v, want %d", got, stolen)
+		}
+		stolen++
+	}
+	if stolen != next {
+		t.Fatalf("drained %d elements, pushed %d", stolen, next)
+	}
+}
+
+func TestMixedOwnerOps(t *testing.T) {
+	d := New[int](4)
+	a, b, c := 1, 2, 3
+	d.Push(&a)
+	d.Push(&b)
+	if got := d.Pop(); got == nil || *got != 2 {
+		t.Fatalf("Pop = %v, want 2", got)
+	}
+	d.Push(&c)
+	if got := d.Steal(); got == nil || *got != 1 {
+		t.Fatalf("Steal = %v, want 1", got)
+	}
+	if got := d.Pop(); got == nil || *got != 3 {
+		t.Fatalf("Pop = %v, want 3", got)
+	}
+	if !d.Empty() {
+		t.Fatal("deque should be empty")
+	}
+}
+
+// TestDifferentialRandomOps replays a random single-threaded op sequence on
+// the lock-free deque and the locked reference and requires identical
+// observable behaviour.
+func TestDifferentialRandomOps(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lf := New[int](4)
+		ref := NewLocked[int](4)
+		vals := make([]int, 0, len(ops))
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				vals = append(vals, rng.Int())
+				v := &vals[len(vals)-1]
+				lf.Push(v)
+				ref.Push(v)
+			case 1: // pop
+				a, b := lf.Pop(), ref.Pop()
+				if (a == nil) != (b == nil) {
+					return false
+				}
+				if a != nil && *a != *b {
+					return false
+				}
+			case 2: // steal
+				a, b := lf.Steal(), ref.Steal()
+				if (a == nil) != (b == nil) {
+					return false
+				}
+				if a != nil && *a != *b {
+					return false
+				}
+			}
+			if lf.Len() != ref.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentStealExactlyOnce hammers one owner against many thieves and
+// checks every pushed element is consumed exactly once.
+func TestConcurrentStealExactlyOnce(t *testing.T) {
+	const (
+		nItems   = 20000
+		nThieves = 4
+	)
+	d := New[int](8)
+	vals := make([]int, nItems)
+	seen := make([]atomic.Int32, nItems)
+
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	var consumed atomic.Int64
+
+	record := func(v *int) {
+		if seen[*v].Add(1) != 1 {
+			t.Errorf("element %d consumed more than once", *v)
+		}
+		consumed.Add(1)
+	}
+
+	for i := 0; i < nThieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if v := d.Steal(); v != nil {
+					record(v)
+				}
+			}
+			// Final drain.
+			for {
+				v := d.Steal()
+				if v == nil {
+					return
+				}
+				record(v)
+			}
+		}()
+	}
+
+	// Owner: push everything, popping occasionally.
+	for i := 0; i < nItems; i++ {
+		vals[i] = i
+		d.Push(&vals[i])
+		if i%7 == 0 {
+			if v := d.Pop(); v != nil {
+				record(v)
+			}
+		}
+	}
+	for {
+		v := d.Pop()
+		if v == nil {
+			break
+		}
+		record(v)
+	}
+	done.Store(true)
+	wg.Wait()
+
+	// The owner's final Pop loop can observe empty while a thief still holds
+	// the last CAS; drain whatever remains.
+	for {
+		v := d.Steal()
+		if v == nil {
+			break
+		}
+		record(v)
+	}
+	if got := consumed.Load(); got != nItems {
+		t.Fatalf("consumed %d items, want %d", got, nItems)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("element %d consumed %d times", i, seen[i].Load())
+		}
+	}
+}
+
+// TestConcurrentOwnerVsThieves runs owner pop against thieves with growth.
+func TestConcurrentOwnerVsThieves(t *testing.T) {
+	const nItems = 50000
+	d := New[int](8)
+	vals := make([]int, nItems)
+	var thiefGot atomic.Int64
+	var ownerGot atomic.Int64
+	var wg sync.WaitGroup
+	var done atomic.Bool
+
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if d.Steal() != nil {
+					thiefGot.Add(1)
+				}
+			}
+			for d.Steal() != nil {
+				thiefGot.Add(1)
+			}
+		}()
+	}
+
+	for i := 0; i < nItems; i++ {
+		vals[i] = i
+		d.Push(&vals[i])
+		if i%3 == 0 {
+			if d.Pop() != nil {
+				ownerGot.Add(1)
+			}
+		}
+	}
+	for d.Pop() != nil {
+		ownerGot.Add(1)
+	}
+	done.Store(true)
+	wg.Wait()
+	for d.Steal() != nil {
+		thiefGot.Add(1)
+	}
+
+	if total := thiefGot.Load() + ownerGot.Load(); total != nItems {
+		t.Fatalf("total consumed %d, want %d", total, nItems)
+	}
+}
+
+func TestLockedBasics(t *testing.T) {
+	d := NewLocked[string](2)
+	a, b := "a", "b"
+	d.Push(&a)
+	d.Push(&b)
+	if d.Len() != 2 || d.Empty() {
+		t.Fatalf("Len = %d, Empty = %v", d.Len(), d.Empty())
+	}
+	if got := d.Steal(); got == nil || *got != "a" {
+		t.Fatalf("Steal = %v, want a", got)
+	}
+	if got := d.Pop(); got == nil || *got != "b" {
+		t.Fatalf("Pop = %v, want b", got)
+	}
+	if d.Pop() != nil || d.Steal() != nil {
+		t.Fatal("ops on empty deque should return nil")
+	}
+}
+
+// TestPropertyLenNeverNegative checks Len stays sane across random ops.
+func TestPropertyLenNeverNegative(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := New[int](4)
+		x := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				d.Push(&x)
+			case 2:
+				d.Pop()
+			case 3:
+				d.Steal()
+			}
+			if d.Len() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[int](64)
+	v := 42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Push(&v)
+		d.Pop()
+	}
+}
+
+func BenchmarkStealContended(b *testing.B) {
+	d := New[int](1024)
+	v := 42
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				d.Steal()
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Push(&v)
+		d.Pop()
+	}
+	b.StopTimer()
+	done.Store(true)
+	wg.Wait()
+}

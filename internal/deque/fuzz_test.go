@@ -1,0 +1,49 @@
+package deque
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDequeOps drives the lock-free deque and the locked reference with
+// the same single-threaded operation sequence and requires identical
+// observable behaviour (differential fuzzing).
+func FuzzDequeOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 0, 1, 1, 2})
+	f.Add([]byte{0, 1, 0, 1, 0, 1})
+	f.Add(bytes.Repeat([]byte{0}, 100))
+	f.Add([]byte{2, 2, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		lf := New[int](4)
+		ref := NewLocked[int](4)
+		vals := make([]int, 0, len(ops))
+		for i, op := range ops {
+			switch op % 3 {
+			case 0:
+				vals = append(vals, i)
+				v := &vals[len(vals)-1]
+				lf.Push(v)
+				ref.Push(v)
+			case 1:
+				a, b := lf.Pop(), ref.Pop()
+				if (a == nil) != (b == nil) {
+					t.Fatalf("op %d: Pop presence mismatch", i)
+				}
+				if a != nil && *a != *b {
+					t.Fatalf("op %d: Pop %d != %d", i, *a, *b)
+				}
+			case 2:
+				a, b := lf.Steal(), ref.Steal()
+				if (a == nil) != (b == nil) {
+					t.Fatalf("op %d: Steal presence mismatch", i)
+				}
+				if a != nil && *a != *b {
+					t.Fatalf("op %d: Steal %d != %d", i, *a, *b)
+				}
+			}
+			if lf.Len() != ref.Len() {
+				t.Fatalf("op %d: Len %d != %d", i, lf.Len(), ref.Len())
+			}
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package deque
+
+import "sync/atomic"
+
+// ring is a fixed-capacity circular buffer indexed by unbounded positions.
+// Capacity is always a power of two so the modulo is a mask. Slots are
+// atomic so thieves may read them while the owner writes unrelated slots.
+type ring[T any] struct {
+	cap  int
+	mask int64
+	elts []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	return &ring[T]{
+		cap:  capacity,
+		mask: int64(capacity - 1),
+		elts: make([]atomic.Pointer[T], capacity),
+	}
+}
+
+func (r *ring[T]) load(i int64) *T     { return r.elts[i&r.mask].Load() }
+func (r *ring[T]) store(i int64, v *T) { r.elts[i&r.mask].Store(v) }
+
+// grow returns a ring of double capacity holding positions [t, b).
+func (r *ring[T]) grow(t, b int64) *ring[T] {
+	nr := newRing[T](r.cap * 2)
+	for i := t; i < b; i++ {
+		nr.store(i, r.load(i))
+	}
+	return nr
+}

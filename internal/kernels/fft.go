@@ -1,0 +1,116 @@
+package kernels
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"dws/internal/rt"
+)
+
+// fftCutoff is the subproblem size below which the parallel FFT recurses
+// sequentially.
+const fftCutoff = 256
+
+// FFTSeq performs an in-place iterative radix-2 Cooley–Tukey FFT.
+// len(a) must be a power of two.
+func FFTSeq(a []complex128) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("kernels: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+			}
+		}
+	}
+}
+
+// fftRec is the recursive FFT used below the parallel cutoff.
+func fftRec(a []complex128) {
+	n := len(a)
+	if n == 1 {
+		return
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = a[2*i]
+		odd[i] = a[2*i+1]
+	}
+	fftRec(even)
+	fftRec(odd)
+	combine(a, even, odd)
+}
+
+func combine(a, even, odd []complex128) {
+	n := len(a)
+	step := -2 * math.Pi / float64(n)
+	for k := 0; k < n/2; k++ {
+		w := cmplx.Exp(complex(0, step*float64(k)))
+		a[k] = even[k] + w*odd[k]
+		a[k+n/2] = even[k] - w*odd[k]
+	}
+}
+
+// FFTTask returns a task computing the FFT of a in place using a parallel
+// recursive decomposition: the even/odd halves are spawned until the
+// cutoff, matching the simulator's wide FFT profile.
+func FFTTask(a []complex128) rt.Task {
+	if n := len(a); n&(n-1) != 0 {
+		panic("kernels: FFT length must be a power of two")
+	}
+	var par func(a []complex128) rt.Task
+	par = func(a []complex128) rt.Task {
+		return func(c *rt.Ctx) {
+			n := len(a)
+			if n <= fftCutoff {
+				fftRec(a)
+				return
+			}
+			even := make([]complex128, n/2)
+			odd := make([]complex128, n/2)
+			for i := 0; i < n/2; i++ {
+				even[i] = a[2*i]
+				odd[i] = a[2*i+1]
+			}
+			c.Spawn(par(even))
+			c.Spawn(par(odd))
+			c.Sync()
+			combine(a, even, odd)
+		}
+	}
+	return par(a)
+}
+
+// DFTNaive returns the discrete Fourier transform of a by the O(n²)
+// definition — the verification oracle for small inputs.
+func DFTNaive(a []complex128) []complex128 {
+	n := len(a)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += a[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package kernels
+
+import (
+	"math"
+
+	"dws/internal/rt"
+)
+
+// GESeq solves A·x = b by Gaussian elimination without pivoting (A must
+// be safe for it, e.g. diagonally dominant). a is n×n row-major and is
+// destroyed; b is overwritten; the solution is returned. It returns nil
+// on a zero pivot.
+func GESeq(a []float64, b []float64, n int) []float64 {
+	for k := 0; k < n; k++ {
+		piv := a[k*n+k]
+		if piv == 0 {
+			return nil
+		}
+		for i := k + 1; i < n; i++ {
+			f := a[i*n+k] / piv
+			a[i*n+k] = 0
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= f * a[k*n+j]
+			}
+			b[i] -= f * b[k]
+		}
+	}
+	return backSub(a, b, n)
+}
+
+func backSub(a, b []float64, n int) []float64 {
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * x[j]
+		}
+		x[i] = s / a[i*n+i]
+	}
+	return x
+}
+
+// GETask returns a task performing the same elimination with the row
+// updates of each step parallelised (fixed-width barriers whose per-row
+// work shrinks — the simulator's p-5 profile). The solution is stored
+// into x (length n); a zero pivot leaves x nil-filled and sets *ok false.
+func GETask(a []float64, b []float64, n int, x []float64, ok *bool) rt.Task {
+	return func(c *rt.Ctx) {
+		*ok = true
+		for k := 0; k < n; k++ {
+			piv := a[k*n+k]
+			if piv == 0 {
+				*ok = false
+				return
+			}
+			chunks(n-(k+1), func(lo, hi int) {
+				lo, hi = lo+k+1, hi+k+1
+				c.Spawn(func(*rt.Ctx) {
+					for i := lo; i < hi; i++ {
+						f := a[i*n+k] / piv
+						a[i*n+k] = 0
+						for j := k + 1; j < n; j++ {
+							a[i*n+j] -= f * a[k*n+j]
+						}
+						b[i] -= f * b[k]
+					}
+				})
+			})
+			c.Sync()
+		}
+		copy(x, backSub(a, b, n))
+	}
+}
+
+// SolveResidual returns the max-norm of A·x − b for the original system.
+func SolveResidual(a, x, b []float64, n int) float64 {
+	var worst float64
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += a[i*n+j] * x[j]
+		}
+		if d := math.Abs(s - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,78 @@
+package kernels
+
+import "dws/internal/rt"
+
+// Grid is a dense h×w row-major grid of cell values with fixed (Dirichlet)
+// boundaries.
+type Grid struct {
+	W, H  int
+	Cells []float64
+}
+
+// NewGrid returns a zero grid with a hot top edge — the classic heat
+// distribution setup.
+func NewGrid(w, h int) *Grid {
+	g := &Grid{W: w, H: h, Cells: make([]float64, w*h)}
+	for x := 0; x < w; x++ {
+		g.Cells[x] = 100
+	}
+	return g
+}
+
+// Clone deep-copies the grid.
+func (g *Grid) Clone() *Grid {
+	c := &Grid{W: g.W, H: g.H, Cells: make([]float64, len(g.Cells))}
+	copy(c.Cells, g.Cells)
+	return c
+}
+
+// jacobiRow computes one interior row of the 5-point stencil from src
+// into dst.
+func jacobiRow(dst, src []float64, w, y int) {
+	for x := 1; x < w-1; x++ {
+		i := y*w + x
+		dst[i] = 0.25 * (src[i-1] + src[i+1] + src[i-w] + src[i+w])
+	}
+}
+
+// HeatSeq runs iters Jacobi sweeps of the 5-point heat stencil over g.
+func HeatSeq(g *Grid, iters int) {
+	next := make([]float64, len(g.Cells))
+	copy(next, g.Cells)
+	for it := 0; it < iters; it++ {
+		for y := 1; y < g.H-1; y++ {
+			jacobiRow(next, g.Cells, g.W, y)
+		}
+		g.Cells, next = next, g.Cells
+	}
+}
+
+// heatBand is the number of rows one parallel Jacobi task sweeps.
+const heatBand = 8
+
+// HeatTask returns a task running iters Jacobi sweeps with each sweep's
+// interior rows parallelised over bands (a barrier per iteration — the
+// simulator's p-6 profile).
+func HeatTask(g *Grid, iters int) rt.Task {
+	return func(c *rt.Ctx) {
+		next := make([]float64, len(g.Cells))
+		copy(next, g.Cells)
+		for it := 0; it < iters; it++ {
+			src := g.Cells
+			for y0 := 1; y0 < g.H-1; y0 += heatBand {
+				y1 := y0 + heatBand
+				if y1 > g.H-1 {
+					y1 = g.H - 1
+				}
+				lo, hi := y0, y1
+				c.Spawn(func(*rt.Ctx) {
+					for y := lo; y < hi; y++ {
+						jacobiRow(next, src, g.W, y)
+					}
+				})
+			}
+			c.Sync()
+			g.Cells, next = next, g.Cells
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dws/internal/rt"
+)
+
+// run executes a task on a fresh single-program DWS system.
+func run(t *testing.T, task rt.Task) {
+	t.Helper()
+	s, err := rt.NewSystem(rt.Config{
+		Cores: 4, Programs: 1, Policy: rt.DWS, CoordPeriod: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p, err := s.NewProgram("kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(task); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return a
+}
+
+func TestFFTSeqAgainstNaiveDFT(t *testing.T) {
+	a := randComplex(64, 1)
+	want := DFTNaive(a)
+	FFTSeq(a)
+	for i := range a {
+		if cmplx.Abs(a[i]-want[i]) > 1e-9 {
+			t.Fatalf("bin %d: %v != %v", i, a[i], want[i])
+		}
+	}
+}
+
+func TestFFTParallelMatchesSeq(t *testing.T) {
+	a := randComplex(4096, 2)
+	b := append([]complex128(nil), a...)
+	FFTSeq(a)
+	run(t, FFTTask(b))
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-6 {
+			t.Fatalf("bin %d: parallel %v != sequential %v", i, b[i], a[i])
+		}
+	}
+}
+
+func TestFFTBadLengthPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FFTSeq(make([]complex128, 3)) },
+		func() { FFTTask(make([]complex128, 12)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("non-power-of-two length did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMergesortSeq(t *testing.T) {
+	a := RandSlice(10_000, 3)
+	MergesortSeq(a)
+	if !IsSorted(a) {
+		t.Fatal("sequential mergesort output not sorted")
+	}
+}
+
+func TestMergesortParallel(t *testing.T) {
+	a := RandSlice(100_000, 4)
+	want := append([]int32(nil), a...)
+	MergesortSeq(want)
+	run(t, MergesortTask(a))
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("index %d: %d != %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestMergesortEdgeCases(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 31, 32, 33} {
+		a := RandSlice(n, int64(n))
+		MergesortSeq(a)
+		if !IsSorted(a) {
+			t.Fatalf("n=%d not sorted", n)
+		}
+	}
+}
+
+// Property: parallel mergesort is a sorting function (sorted permutation).
+func TestPropertyMergesort(t *testing.T) {
+	f := func(xs []int32) bool {
+		a := append([]int32(nil), xs...)
+		MergesortSeq(a)
+		if !IsSorted(a) {
+			return false
+		}
+		counts := map[int32]int{}
+		for _, x := range xs {
+			counts[x]++
+		}
+		for _, x := range a {
+			counts[x]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	const n = 48
+	orig := SPDMatrix(n, 5)
+
+	seq := append([]float64(nil), orig...)
+	if !CholeskySeq(seq, n) {
+		t.Fatal("sequential Cholesky rejected an SPD matrix")
+	}
+	if r := CholeskyResidual(seq, orig, n); r > 1e-8*float64(n) {
+		t.Fatalf("sequential residual %g", r)
+	}
+
+	par := append([]float64(nil), orig...)
+	var ok bool
+	run(t, CholeskyTask(par, n, &ok))
+	if !ok {
+		t.Fatal("parallel Cholesky rejected an SPD matrix")
+	}
+	if r := CholeskyResidual(par, orig, n); r > 1e-8*float64(n) {
+		t.Fatalf("parallel residual %g", r)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := []float64{-1, 0, 0, -1}
+	if CholeskySeq(a, 2) {
+		t.Fatal("accepted a negative-definite matrix")
+	}
+	var ok bool
+	b := []float64{-1, 0, 0, -1}
+	run(t, CholeskyTask(b, 2, &ok))
+	if ok {
+		t.Fatal("parallel accepted a negative-definite matrix")
+	}
+}
+
+func TestLU(t *testing.T) {
+	const n = 48
+	orig := DiagonallyDominant(n, 6)
+
+	seq := append([]float64(nil), orig...)
+	if !LUSeq(seq, n) {
+		t.Fatal("sequential LU hit a zero pivot")
+	}
+	if r := LUResidual(seq, orig, n); r > 1e-8*float64(n) {
+		t.Fatalf("sequential residual %g", r)
+	}
+
+	par := append([]float64(nil), orig...)
+	var ok bool
+	run(t, LUTask(par, n, &ok))
+	if !ok {
+		t.Fatal("parallel LU hit a zero pivot")
+	}
+	if r := LUResidual(par, orig, n); r > 1e-8*float64(n) {
+		t.Fatalf("parallel residual %g", r)
+	}
+}
+
+func TestLUZeroPivot(t *testing.T) {
+	a := []float64{0, 1, 1, 0}
+	if LUSeq(a, 2) {
+		t.Fatal("accepted a zero pivot")
+	}
+}
+
+func TestGE(t *testing.T) {
+	const n = 48
+	a := DiagonallyDominant(n, 7)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+
+	aSeq := append([]float64(nil), a...)
+	bSeq := append([]float64(nil), b...)
+	x := GESeq(aSeq, bSeq, n)
+	if x == nil {
+		t.Fatal("sequential GE failed")
+	}
+	if r := SolveResidual(a, x, b, n); r > 1e-8*float64(n) {
+		t.Fatalf("sequential residual %g", r)
+	}
+
+	aPar := append([]float64(nil), a...)
+	bPar := append([]float64(nil), b...)
+	xPar := make([]float64, n)
+	var ok bool
+	run(t, GETask(aPar, bPar, n, xPar, &ok))
+	if !ok {
+		t.Fatal("parallel GE failed")
+	}
+	if r := SolveResidual(a, xPar, b, n); r > 1e-8*float64(n) {
+		t.Fatalf("parallel residual %g", r)
+	}
+}
+
+func TestHeat(t *testing.T) {
+	seqG := NewGrid(40, 24)
+	parG := seqG.Clone()
+	HeatSeq(seqG, 25)
+	run(t, HeatTask(parG, 25))
+	for i := range seqG.Cells {
+		if seqG.Cells[i] != parG.Cells[i] {
+			t.Fatalf("cell %d: parallel %g != sequential %g", i, parG.Cells[i], seqG.Cells[i])
+		}
+	}
+	// Heat must flow: an interior cell below the hot edge warms up.
+	if seqG.Cells[2*seqG.W+seqG.W/2] <= 0 {
+		t.Fatal("no heat propagated")
+	}
+}
+
+func TestSOR(t *testing.T) {
+	seqG := NewGrid(40, 24)
+	parG := seqG.Clone()
+	SORSeq(seqG, 25, 1.5)
+	run(t, SORTask(parG, 25, 1.5))
+	for i := range seqG.Cells {
+		if seqG.Cells[i] != parG.Cells[i] {
+			t.Fatalf("cell %d: parallel %g != sequential %g", i, parG.Cells[i], seqG.Cells[i])
+		}
+	}
+}
+
+func TestSORConvergesTowardLaplace(t *testing.T) {
+	g := NewGrid(16, 16)
+	SORSeq(g, 500, 1.7)
+	// After many sweeps the residual of the interior Laplace equation is
+	// small.
+	var worst float64
+	for y := 1; y < g.H-1; y++ {
+		for x := 1; x < g.W-1; x++ {
+			i := y*g.W + x
+			r := g.Cells[i] - 0.25*(g.Cells[i-1]+g.Cells[i+1]+g.Cells[i-g.W]+g.Cells[i+g.W])
+			if math.Abs(r) > worst {
+				worst = math.Abs(r)
+			}
+		}
+	}
+	if worst > 1e-3 {
+		t.Fatalf("Laplace residual %g after 500 sweeps", worst)
+	}
+}
+
+func TestPNN(t *testing.T) {
+	net := NewPNN(8, []int{24, 12, 6}, 9)
+	if net.Inputs() != 8 || net.Outputs() != 6 {
+		t.Fatalf("Inputs/Outputs = %d/%d", net.Inputs(), net.Outputs())
+	}
+	batch := RandBatch(200, 8, 10)
+	want := net.ForwardSeq(batch)
+	got := make([][]float64, len(batch))
+	run(t, net.ForwardTask(batch, got))
+	for s := range want {
+		for i := range want[s] {
+			if want[s][i] != got[s][i] {
+				t.Fatalf("sample %d output %d: %g != %g", s, i, got[s][i], want[s][i])
+			}
+		}
+	}
+}
+
+func TestPNNDeterministic(t *testing.T) {
+	a := NewPNN(4, []int{8, 4}, 42)
+	b := NewPNN(4, []int{8, 4}, 42)
+	batch := RandBatch(10, 4, 1)
+	oa, ob := a.ForwardSeq(batch), b.ForwardSeq(batch)
+	for s := range oa {
+		for i := range oa[s] {
+			if oa[s][i] != ob[s][i] {
+				t.Fatal("same seed produced different networks")
+			}
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if m := RandMatrix(4, 1); len(m) != 16 {
+		t.Fatal("RandMatrix size")
+	}
+	spd := SPDMatrix(6, 2)
+	// SPD matrices are symmetric.
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if math.Abs(spd[i*6+j]-spd[j*6+i]) > 1e-12 {
+				t.Fatal("SPDMatrix not symmetric")
+			}
+		}
+	}
+	dd := DiagonallyDominant(5, 3)
+	for i := 0; i < 5; i++ {
+		var off float64
+		for j := 0; j < 5; j++ {
+			if i != j {
+				off += math.Abs(dd[i*5+j])
+			}
+		}
+		if math.Abs(dd[i*5+i]) <= off {
+			t.Fatal("matrix not diagonally dominant")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package kernels
+
+import (
+	"math"
+
+	"dws/internal/rt"
+)
+
+// LUSeq performs an in-place Doolittle LU decomposition without pivoting
+// of the n×n row-major matrix a: afterwards the strict lower triangle
+// holds L's multipliers (unit diagonal implied) and the upper triangle
+// holds U. It returns false on a zero pivot.
+func LUSeq(a []float64, n int) bool {
+	for k := 0; k < n; k++ {
+		piv := a[k*n+k]
+		if piv == 0 {
+			return false
+		}
+		for i := k + 1; i < n; i++ {
+			f := a[i*n+k] / piv
+			a[i*n+k] = f
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= f * a[k*n+j]
+			}
+		}
+	}
+	return true
+}
+
+// LUTask returns a task computing the same decomposition with the
+// trailing row updates parallelised (one barrier per elimination step,
+// shrinking row count — the simulator's p-4 profile). ok reports pivot
+// validity after completion.
+func LUTask(a []float64, n int, ok *bool) rt.Task {
+	return func(c *rt.Ctx) {
+		*ok = true
+		for k := 0; k < n; k++ {
+			piv := a[k*n+k]
+			if piv == 0 {
+				*ok = false
+				return
+			}
+			chunks(n-(k+1), func(lo, hi int) {
+				lo, hi = lo+k+1, hi+k+1
+				c.Spawn(func(*rt.Ctx) {
+					for i := lo; i < hi; i++ {
+						f := a[i*n+k] / piv
+						a[i*n+k] = f
+						for j := k + 1; j < n; j++ {
+							a[i*n+j] -= f * a[k*n+j]
+						}
+					}
+				})
+			})
+			c.Sync()
+		}
+	}
+}
+
+// LUResidual returns the max-norm of (L·U − orig) for a factorisation lu
+// produced by the routines above.
+func LUResidual(lu, orig []float64, n int) float64 {
+	var worst float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// (L·U)[i][j] = Σ_{k ≤ min(i,j)} L[i][k]·U[k][j], with L's
+			// implicit unit diagonal.
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			var s float64
+			for k := 0; k <= kmax; k++ {
+				l := 1.0
+				if k < i {
+					l = lu[i*n+k]
+				}
+				s += l * lu[k*n+j]
+			}
+			if d := math.Abs(s - orig[i*n+j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

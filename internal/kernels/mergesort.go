@@ -1,0 +1,94 @@
+package kernels
+
+import "dws/internal/rt"
+
+// msCutoff is the subarray size below which the parallel mergesort sorts
+// sequentially.
+const msCutoff = 2048
+
+// MergesortSeq sorts a in place with a sequential top-down merge sort.
+func MergesortSeq(a []int32) {
+	buf := make([]int32, len(a))
+	msSeq(a, buf)
+}
+
+func msSeq(a, buf []int32) {
+	if len(a) <= 32 {
+		insertion(a)
+		return
+	}
+	mid := len(a) / 2
+	msSeq(a[:mid], buf[:mid])
+	msSeq(a[mid:], buf[mid:])
+	merge(a, mid, buf)
+}
+
+func insertion(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// merge merges the sorted halves a[:mid] and a[mid:] using buf.
+func merge(a []int32, mid int, buf []int32) {
+	copy(buf, a)
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(a) {
+		if buf[i] <= buf[j] {
+			a[k] = buf[i]
+			i++
+		} else {
+			a[k] = buf[j]
+			j++
+		}
+		k++
+	}
+	for i < mid {
+		a[k] = buf[i]
+		i++
+		k++
+	}
+	for j < len(a) {
+		a[k] = buf[j]
+		j++
+		k++
+	}
+}
+
+// MergesortTask returns a task sorting a in place: recursive halves are
+// spawned in parallel; each merge is sequential, which caps parallelism
+// near the root exactly like the paper's p-8 (and the simulator profile).
+func MergesortTask(a []int32) rt.Task {
+	buf := make([]int32, len(a))
+	var par func(a, buf []int32) rt.Task
+	par = func(a, buf []int32) rt.Task {
+		return func(c *rt.Ctx) {
+			if len(a) <= msCutoff {
+				msSeq(a, buf)
+				return
+			}
+			mid := len(a) / 2
+			c.Spawn(par(a[:mid], buf[:mid]))
+			c.Spawn(par(a[mid:], buf[mid:]))
+			c.Sync()
+			merge(a, mid, buf)
+		}
+	}
+	return par(a, buf)
+}
+
+// IsSorted reports whether a is non-decreasing.
+func IsSorted(a []int32) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package kernels
+
+import "dws/internal/rt"
+
+// sorRow relaxes the cells of one interior row with the given parity
+// (red-black ordering) in place.
+func sorRow(cells []float64, w, y int, parity int, omega float64) {
+	start := 1 + (y+parity)%2
+	for x := start; x < w-1; x += 2 {
+		i := y*w + x
+		nb := 0.25 * (cells[i-1] + cells[i+1] + cells[i-w] + cells[i+w])
+		cells[i] += omega * (nb - cells[i])
+	}
+}
+
+// SORSeq runs iters red-black successive over-relaxation sweeps over g
+// with relaxation factor omega.
+func SORSeq(g *Grid, iters int, omega float64) {
+	for it := 0; it < iters; it++ {
+		for parity := 0; parity < 2; parity++ {
+			for y := 1; y < g.H-1; y++ {
+				sorRow(g.Cells, g.W, y, parity, omega)
+			}
+		}
+	}
+}
+
+// SORTask returns a task running the same red-black SOR with each
+// half-sweep's rows parallelised over bands (two barriers per iteration —
+// the simulator's p-7 profile). Red-black ordering makes the parallel
+// update race-free and bitwise identical to the sequential sweep.
+func SORTask(g *Grid, iters int, omega float64) rt.Task {
+	return func(c *rt.Ctx) {
+		for it := 0; it < iters; it++ {
+			for parity := 0; parity < 2; parity++ {
+				par := parity
+				for y0 := 1; y0 < g.H-1; y0 += heatBand {
+					y1 := y0 + heatBand
+					if y1 > g.H-1 {
+						y1 = g.H - 1
+					}
+					lo, hi := y0, y1
+					c.Spawn(func(*rt.Ctx) {
+						for y := lo; y < hi; y++ {
+							sorRow(g.Cells, g.W, y, par, omega)
+						}
+					})
+				}
+				c.Sync()
+			}
+		}
+	}
+}

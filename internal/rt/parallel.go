@@ -1,0 +1,71 @@
+package rt
+
+// ParallelFor executes fn(lo, hi) over disjoint chunks of [0, n) of at
+// most grain elements each, spawning every chunk and joining them before
+// returning — the cilk_for idiom. It must be called from inside a task
+// (with that task's Ctx). grain ≤ 0 picks a chunk size that yields about
+// eight chunks per core slot.
+func ParallelFor(c *Ctx, n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = n / (8 * c.cores())
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		c.Spawn(func(*Ctx) { fn(lo, hi) })
+	}
+	c.Sync()
+}
+
+// ParallelReduce computes the reduction of fn(lo, hi) partials over
+// disjoint chunks of [0, n), combining them with merge on the calling
+// worker after all chunks join. merge must be associative; partials
+// arrive in chunk order.
+func ParallelReduce[T any](c *Ctx, n, grain int, fn func(lo, hi int) T, merge func(a, b T) T) T {
+	var zero T
+	if n <= 0 {
+		return zero
+	}
+	if grain <= 0 {
+		grain = n / (8 * c.cores())
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	nchunks := (n + grain - 1) / grain
+	partials := make([]T, nchunks)
+	idx := 0
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		lo, hi, i := lo, hi, idx
+		c.Spawn(func(*Ctx) { partials[i] = fn(lo, hi) })
+		idx++
+	}
+	c.Sync()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = merge(acc, p)
+	}
+	return acc
+}
+
+// cores returns the executing system's core-slot count, or a nominal 8
+// during a recording run.
+func (c *Ctx) cores() int {
+	if c.w == nil {
+		return 8
+	}
+	return c.w.p.sys.cfg.Cores
+}

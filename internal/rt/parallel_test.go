@@ -1,0 +1,128 @@
+package rt
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelForCoversRange(t *testing.T) {
+	s := testSystem(t, DWS, 1)
+	p, _ := s.NewProgram("pf")
+	const n = 1000
+	marks := make([]atomic.Int32, n)
+	err := p.Run(func(c *Ctx) {
+		ParallelFor(c, n, 37, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				marks[i].Add(1)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range marks {
+		if got := marks[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestParallelForAutoGrainAndEmpty(t *testing.T) {
+	s := testSystem(t, ABP, 1)
+	p, _ := s.NewProgram("pf")
+	var total atomic.Int64
+	err := p.Run(func(c *Ctx) {
+		ParallelFor(c, 0, 0, func(lo, hi int) { total.Add(1) }) // no-op
+		ParallelFor(c, 100, 0, func(lo, hi int) { total.Add(int64(hi - lo)) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 100 {
+		t.Fatalf("total = %d", total.Load())
+	}
+}
+
+func TestParallelReduceSum(t *testing.T) {
+	s := testSystem(t, DWS, 1)
+	p, _ := s.NewProgram("pr")
+	var got int64
+	err := p.Run(func(c *Ctx) {
+		got = ParallelReduce(c, 10_000, 123,
+			func(lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				return s
+			},
+			func(a, b int64) int64 { return a + b })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(10_000) * 9_999 / 2
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestParallelReduceEmpty(t *testing.T) {
+	s := testSystem(t, ABP, 1)
+	p, _ := s.NewProgram("pr")
+	var got int
+	err := p.Run(func(c *Ctx) {
+		got = ParallelReduce(c, 0, 10, func(lo, hi int) int { return 1 },
+			func(a, b int) int { return a + b })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("empty reduce = %d", got)
+	}
+}
+
+// Property: ParallelReduce over max equals the sequential max for random
+// sizes and grains.
+func TestPropertyParallelReduceMax(t *testing.T) {
+	s := testSystem(t, DWS, 1)
+	p, _ := s.NewProgram("pr")
+	f := func(nRaw uint16, grainRaw uint8) bool {
+		n := int(nRaw%2000) + 1
+		grain := int(grainRaw%64) + 1
+		var got int
+		err := p.Run(func(c *Ctx) {
+			got = ParallelReduce(c, n, grain,
+				func(lo, hi int) int {
+					m := (lo*7919 + 13) % 1000
+					for i := lo; i < hi; i++ {
+						if v := (i*7919 + 13) % 1000; v > m {
+							m = v
+						}
+					}
+					return m
+				},
+				func(a, b int) int {
+					if a > b {
+						return a
+					}
+					return b
+				})
+		})
+		if err != nil {
+			return false
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			if v := (i*7919 + 13) % 1000; v > want {
+				want = v
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

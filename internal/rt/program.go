@@ -1,0 +1,359 @@
+package rt
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dws/internal/coretable"
+	"dws/internal/deque"
+)
+
+// Program is one work-stealing program hosted by a System: k workers (one
+// per core slot), an injection queue for root tasks, and — under DWS and
+// DWS-NC — a coordinator goroutine.
+type Program struct {
+	sys  *System
+	name string
+	idx  int
+	id   int32 // 1-based table ID
+	home []int
+
+	workers []*worker
+	victims [][]*worker
+
+	// inject receives root tasks from Run; workers drain it like a
+	// stealable deque.
+	inject *deque.Locked[taskNode]
+
+	active    atomic.Int64
+	runActive atomic.Bool
+	shutdown  atomic.Bool
+
+	runMu     sync.Mutex // serialises Run calls
+	coordStop chan struct{}
+	wg        sync.WaitGroup
+	crng      *rand.Rand // coordinator-goroutine RNG
+
+	st progStats
+}
+
+func newProgram(s *System, name string, idx int) *Program {
+	p := &Program{
+		sys:       s,
+		name:      name,
+		idx:       idx,
+		id:        int32(idx + 1),
+		home:      coretable.HomeCores(s.cfg.Cores, s.cfg.Programs, idx),
+		inject:    deque.NewLocked[taskNode](8),
+		coordStop: make(chan struct{}),
+	}
+	for c := 0; c < s.cfg.Cores; c++ {
+		p.workers = append(p.workers, newWorker(p, c))
+	}
+	// Victim sets: all siblings (EP: home siblings only).
+	pool := p.workers
+	if s.cfg.Policy == EP {
+		pool = nil
+		for _, c := range p.home {
+			pool = append(pool, p.workers[c])
+		}
+	}
+	p.victims = make([][]*worker, s.cfg.Cores)
+	for _, w := range p.workers {
+		var vs []*worker
+		for _, v := range pool {
+			if v != w {
+				vs = append(vs, v)
+			}
+		}
+		p.victims[w.id] = vs
+	}
+	return p
+}
+
+// Name returns the program's name.
+func (p *Program) Name() string { return p.name }
+
+// Home returns the program's home core slots (the initial even share).
+func (p *Program) Home() []int { return append([]int(nil), p.home...) }
+
+// Stats returns a snapshot of the program's scheduler counters.
+func (p *Program) Stats() Stats { return p.st.snapshot() }
+
+// start launches the worker goroutines (and coordinator) according to the
+// system policy and the paper's initial even allocation.
+func (p *Program) start() {
+	isHome := make(map[int]bool, len(p.home))
+	for _, c := range p.home {
+		isHome[c] = true
+	}
+	switch p.sys.cfg.Policy {
+	case ABP:
+		for _, w := range p.workers {
+			p.launch(w, stateActive)
+		}
+	case EP:
+		for _, c := range p.home {
+			p.launch(p.workers[c], stateActive)
+		}
+	case DWS:
+		p.sys.table.InstallHome(p.home, p.id)
+		for _, w := range p.workers {
+			if isHome[w.id] {
+				p.launch(w, stateActive)
+			} else {
+				p.launch(w, stateSleeping)
+			}
+		}
+	case DWSNC:
+		for _, w := range p.workers {
+			if isHome[w.id] {
+				p.launch(w, stateActive)
+			} else {
+				p.launch(w, stateSleeping)
+			}
+		}
+	}
+	if p.sys.cfg.Policy == DWS || p.sys.cfg.Policy == DWSNC {
+		p.wg.Add(1)
+		go p.coordinate()
+	}
+}
+
+func (p *Program) launch(w *worker, initial int32) {
+	w.state.Store(initial)
+	if initial == stateActive {
+		p.active.Add(1)
+	}
+	p.wg.Add(1)
+	go w.loop()
+}
+
+// ErrClosed is returned by Run on a closed program.
+var ErrClosed = errors.New("rt: program is closed")
+
+// Run executes root to completion on the program's workers, blocking the
+// caller. Consecutive runs model the paper's back-to-back repetitions: a
+// restarting program re-takes its home slots first (a fresh process would
+// start with its even share).
+func (p *Program) Run(root Task) error {
+	if p.shutdown.Load() {
+		return ErrClosed
+	}
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if p.shutdown.Load() {
+		return ErrClosed
+	}
+
+	rootFrame := &frame{done: make(chan struct{})}
+	rootFrame.pending.Store(1)
+	p.runActive.Store(true)
+	p.inject.Push(&taskNode{fn: root, parent: rootFrame})
+	p.regrabHome()
+
+	// Wait for completion; if every worker managed to fall asleep in the
+	// window before the injection became visible, re-wake the home slots.
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rootFrame.done:
+			p.runActive.Store(false)
+			p.st.runs.Add(1)
+			return nil
+		case <-tick.C:
+			if p.active.Load() == 0 {
+				p.regrabHome()
+			}
+		}
+	}
+}
+
+// regrabHome re-establishes the initial even allocation for this program:
+// free home slots are claimed, borrowed ones reclaimed (DWS), and the
+// affined workers woken.
+func (p *Program) regrabHome() {
+	switch p.sys.cfg.Policy {
+	case ABP, EP:
+		return // workers never sleep
+	case DWSNC:
+		for _, c := range p.home {
+			p.wake(p.workers[c])
+		}
+	case DWS:
+		t := p.sys.table
+		for _, c := range p.home {
+			switch occ := t.Occupant(c); {
+			case occ == p.id:
+				p.wake(p.workers[c])
+			case occ == coretable.Free:
+				if t.ClaimFree(c, p.id) {
+					p.st.claims.Add(1)
+					p.wake(p.workers[c])
+				}
+			default:
+				if t.Reclaim(c, p.id, occ) {
+					p.st.reclaims.Add(1)
+					p.wake(p.workers[c])
+				}
+			}
+		}
+	}
+}
+
+// wake transitions a sleeping worker to active. It is a no-op if the
+// worker is not (yet) asleep; the coordinator's next tick retries.
+func (p *Program) wake(w *worker) bool {
+	if !w.state.CompareAndSwap(stateSleeping, stateActive) {
+		return false
+	}
+	p.active.Add(1)
+	p.st.wakes.Add(1)
+	w.wakeCh <- struct{}{}
+	return true
+}
+
+// Close stops the program's workers and coordinator, waits for them, and
+// releases every core slot the program still occupies (so co-running
+// programs can claim them, like a process exit would).
+func (p *Program) Close() {
+	if p.shutdown.Swap(true) {
+		return
+	}
+	close(p.coordStop)
+	// Unblock sleeping workers so they observe the shutdown flag. A worker
+	// racing into park() can have its state still "active" here and miss a
+	// single wake, so retry until every goroutine has exited.
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+waitLoop:
+	for {
+		for _, w := range p.workers {
+			p.wake(w)
+		}
+		select {
+		case <-done:
+			break waitLoop
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if p.sys.cfg.Policy == DWS {
+		for c := 0; c < p.sys.cfg.Cores; c++ {
+			p.sys.table.Release(c, p.id)
+		}
+	}
+}
+
+// coordinate is the coordinator loop (§3.3) for DWS and DWS-NC.
+func (p *Program) coordinate() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.sys.cfg.CoordPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.coordStop:
+			return
+		case <-ticker.C:
+			p.coordTick()
+		}
+	}
+}
+
+// coordTick measures demand (N_b queued tasks, N_a active workers) and
+// wakes N_w = N_b / N_a sleeping workers following the paper's three
+// cases.
+func (p *Program) coordTick() {
+	if !p.runActive.Load() {
+		return
+	}
+	nb := p.inject.Len()
+	for _, w := range p.workers {
+		nb += w.deque.Len()
+	}
+	if nb == 0 {
+		return
+	}
+	na := int(p.active.Load())
+	nw := nb
+	if na > 0 {
+		nw = nb / na
+	}
+	if nw <= 0 {
+		return
+	}
+
+	if p.sys.cfg.Policy == DWSNC {
+		for _, w := range p.workers {
+			if nw == 0 {
+				return
+			}
+			if w.state.Load() == stateSleeping && p.wake(w) {
+				nw--
+			}
+		}
+		return
+	}
+
+	// DWS: case 1 — free slots first.
+	t := p.sys.table
+	for _, c := range shuffled(p.coordRNG(), t.FreeCores()) {
+		if nw == 0 {
+			return
+		}
+		w := p.workers[c]
+		if w.state.Load() != stateSleeping {
+			continue
+		}
+		if t.ClaimFree(c, p.id) {
+			p.st.claims.Add(1)
+			if p.wake(w) {
+				nw--
+			} else {
+				// The worker raced away; return the slot.
+				t.Release(c, p.id)
+			}
+		}
+	}
+	// Cases 2 and 3 — reclaim home slots from their borrowers, never more
+	// than N_r and never slots other programs rightfully hold.
+	for _, c := range p.home {
+		if nw == 0 {
+			return
+		}
+		w := p.workers[c]
+		if w.state.Load() != stateSleeping {
+			continue
+		}
+		occ := t.Occupant(c)
+		if occ == p.id || occ == coretable.Free {
+			continue
+		}
+		if t.Reclaim(c, p.id, occ) {
+			p.st.reclaims.Add(1)
+			if p.wake(w) {
+				nw--
+			}
+		}
+	}
+}
+
+// coordRNG returns the coordinator's RNG (lazily created; the coordinator
+// is a single goroutine).
+func (p *Program) coordRNG() *rand.Rand {
+	if p.crng == nil {
+		p.crng = rand.New(rand.NewSource(int64(p.idx)*7919 + 17))
+	}
+	return p.crng
+}
+
+func shuffled(rng *rand.Rand, xs []int) []int {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	return xs
+}

@@ -1,0 +1,187 @@
+// Package rt is a real, userland work-stealing runtime implementing the
+// paper's scheduler on live goroutines — the second substrate of this
+// reproduction (DESIGN.md §2).
+//
+// A System models one multi-core machine inside a single process: k core
+// slots and, under DWS, the shared core allocation table. Each Program is
+// one "work-stealing program" with one worker goroutine per core slot and
+// (under DWS/DWS-NC) a coordinator goroutine. The Go scheduler plays the
+// role of the OS thread scheduler: with GOMAXPROCS = k, the m×k worker
+// goroutines time-share k processors exactly like the paper's m×k worker
+// threads time-share k cores.
+//
+// Policies:
+//
+//   - ABP: all k workers of every program stay runnable; a worker that
+//     fails to steal yields (runtime.Gosched — the ABP yield).
+//   - EP: each program only runs workers on its k/m home slots.
+//   - DWS: workers sleep after T_SLEEP consecutive failed steals and
+//     release their slot in the allocation table; the coordinator wakes
+//     sleeping workers onto free or reclaimed slots (§3.3).
+//   - DWSNC: sleep/wake as DWS but with no allocation table (the §4.2
+//     ablation).
+//
+// Programs express work with the fork-join API: the root task receives a
+// *Ctx; Ctx.Spawn pushes child tasks onto the worker's deque and Ctx.Sync
+// joins them, helping to execute queued tasks while it waits.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dws/internal/coretable"
+)
+
+// Policy selects the scheduling strategy for all programs of a System.
+type Policy int
+
+// Policies mirror the simulator's (see package sim).
+const (
+	ABP Policy = iota
+	EP
+	DWS
+	DWSNC
+)
+
+// String returns the policy name as used in the paper.
+func (p Policy) String() string {
+	switch p {
+	case ABP:
+		return "ABP"
+	case EP:
+		return "EP"
+	case DWS:
+		return "DWS"
+	case DWSNC:
+		return "DWS-NC"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes a System.
+type Config struct {
+	// Cores is k, the number of core slots.
+	Cores int
+	// Programs is m, the number of co-running programs the system hosts;
+	// it fixes the even initial (home) allocation.
+	Programs int
+	// Policy applies to every program.
+	Policy Policy
+	// TSleep is the paper's T_SLEEP (≤0 defaults to Cores).
+	TSleep int
+	// CoordPeriod is the paper's T (0 defaults to 10ms).
+	CoordPeriod time.Duration
+	// ParkSpin is how many failed steal attempts a thief performs between
+	// yields before the attempt counts toward TSleep (small backoff; ≤0
+	// defaults to 1).
+	ParkSpin int
+}
+
+func (c *Config) validate() error {
+	if c.Cores <= 0 {
+		return errors.New("rt: Cores must be positive")
+	}
+	if c.Programs <= 0 || c.Programs > c.Cores {
+		return fmt.Errorf("rt: Programs must be in [1, %d]", c.Cores)
+	}
+	if c.TSleep <= 0 {
+		c.TSleep = c.Cores
+	}
+	if c.CoordPeriod <= 0 {
+		c.CoordPeriod = 10 * time.Millisecond
+	}
+	if c.ParkSpin <= 0 {
+		c.ParkSpin = 1
+	}
+	return nil
+}
+
+// System is one simulated machine: k core slots shared by up to m
+// programs.
+type System struct {
+	cfg   Config
+	table *coretable.Table // non-nil only under DWS
+
+	mu    sync.Mutex
+	progs []*Program
+}
+
+// NewSystem creates a system for cfg.Programs co-running programs.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg}
+	if cfg.Policy == DWS {
+		s.table = coretable.NewMem(cfg.Cores)
+	}
+	return s, nil
+}
+
+// Cores returns k.
+func (s *System) Cores() int { return s.cfg.Cores }
+
+// Policy returns the system's scheduling policy.
+func (s *System) Policy() Policy { return s.cfg.Policy }
+
+// NewProgram registers the next program (at most cfg.Programs of them) and
+// starts its workers and coordinator. Callers must Close it.
+func (s *System) NewProgram(name string) (*Program, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(s.progs)
+	if idx >= s.cfg.Programs {
+		return nil, fmt.Errorf("rt: system already hosts %d programs", s.cfg.Programs)
+	}
+	p := newProgram(s, name, idx)
+	s.progs = append(s.progs, p)
+	p.start()
+	return p, nil
+}
+
+// Close shuts down every program of the system.
+func (s *System) Close() {
+	s.mu.Lock()
+	progs := append([]*Program(nil), s.progs...)
+	s.mu.Unlock()
+	for _, p := range progs {
+		p.Close()
+	}
+	if s.table != nil {
+		_ = s.table.Close()
+	}
+}
+
+// Stats is a snapshot of a program's scheduler counters.
+type Stats struct {
+	Steals, FailedSteals     int64
+	Sleeps, Wakes, Evictions int64
+	Claims, Reclaims         int64
+	Runs                     int64
+}
+
+// progStats holds the live atomic counters behind Stats.
+type progStats struct {
+	steals, failedSteals     atomic.Int64
+	sleeps, wakes, evictions atomic.Int64
+	claims, reclaims         atomic.Int64
+	runs                     atomic.Int64
+}
+
+func (ps *progStats) snapshot() Stats {
+	return Stats{
+		Steals:       ps.steals.Load(),
+		FailedSteals: ps.failedSteals.Load(),
+		Sleeps:       ps.sleeps.Load(),
+		Wakes:        ps.wakes.Load(),
+		Evictions:    ps.evictions.Load(),
+		Claims:       ps.claims.Load(),
+		Reclaims:     ps.reclaims.Load(),
+		Runs:         ps.runs.Load(),
+	}
+}

@@ -1,0 +1,104 @@
+package rt
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Task is one unit of fork-join work. It may Spawn children through its
+// Ctx; all spawned children are joined when the task returns (an implicit
+// sync) or at an explicit Ctx.Sync.
+type Task func(*Ctx)
+
+// frame is a join counter: one per executing task instance. pending counts
+// the frame's outstanding spawned children. The root frame additionally
+// carries a done channel the program's Run waits on.
+type frame struct {
+	pending atomic.Int64
+	done    chan struct{} // non-nil only for root frames
+}
+
+// childDone reports a finished child; the last child of a root frame
+// closes done.
+func (f *frame) childDone() {
+	if f.pending.Add(-1) == 0 && f.done != nil {
+		close(f.done)
+	}
+}
+
+// taskNode is a queued task: the function plus the parent frame it
+// reports completion to.
+type taskNode struct {
+	fn     Task
+	parent *frame
+}
+
+// Ctx is the worker-side handle a Task uses to spawn and join children.
+// A Ctx is only valid for the duration of its task and must not be shared
+// across goroutines.
+type Ctx struct {
+	w   *worker
+	f   frame
+	rec *recCtx // non-nil during a RecordGraph run
+}
+
+// Worker returns the executing worker's index (its core slot), or -1
+// during a recording run.
+func (c *Ctx) Worker() int {
+	if c.w == nil {
+		return -1
+	}
+	return c.w.id
+}
+
+// Program returns the program this task belongs to, or nil during a
+// recording run.
+func (c *Ctx) Program() *Program {
+	if c.w == nil {
+		return nil
+	}
+	return c.w.p
+}
+
+// Spawn queues fn as a child of the current task. The child may run on
+// any worker of the same program.
+func (c *Ctx) Spawn(fn Task) {
+	if c.rec != nil {
+		c.rec.recSpawn(fn)
+		return
+	}
+	c.f.pending.Add(1)
+	c.w.deque.Push(&taskNode{fn: fn, parent: &c.f})
+}
+
+// Sync blocks until every task spawned so far by this Ctx has finished.
+// While waiting, the worker executes queued tasks (its own first, then
+// stolen ones), so Sync makes progress instead of idling.
+func (c *Ctx) Sync() {
+	if c.rec != nil {
+		c.rec.recSync()
+		return
+	}
+	w := c.w
+	for c.f.pending.Load() > 0 {
+		if t := w.deque.Pop(); t != nil {
+			w.execute(t)
+			continue
+		}
+		if t := w.trySteal(); t != nil {
+			w.stats().steals.Add(1)
+			w.execute(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// execute runs one task to completion, including its implicit final sync,
+// then reports to the parent frame.
+func (w *worker) execute(t *taskNode) {
+	ctx := &Ctx{w: w}
+	t.fn(ctx)
+	ctx.Sync()
+	t.parent.childDone()
+}

@@ -1,0 +1,140 @@
+package rt
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+
+	"dws/internal/deque"
+)
+
+// Worker states.
+const (
+	stateActive int32 = iota
+	stateSleeping
+)
+
+// worker is one worker goroutine, affined to core slot id for its whole
+// life (the paper's w_ij ↔ c_j affinity).
+type worker struct {
+	p  *Program
+	id int
+
+	deque *deque.Deque[taskNode]
+	rng   *rand.Rand
+
+	state  atomic.Int32
+	wakeCh chan struct{}
+
+	failedSteals int
+}
+
+func newWorker(p *Program, id int) *worker {
+	return &worker{
+		p:      p,
+		id:     id,
+		deque:  deque.New[taskNode](64),
+		rng:    rand.New(rand.NewSource(int64(p.idx)*1_000_003 + int64(id)*97 + 1)),
+		wakeCh: make(chan struct{}, 1),
+	}
+}
+
+func (w *worker) stats() *progStats { return &w.p.st }
+
+// loop is Algorithm 1 on a live goroutine: pop the own pool, steal
+// otherwise, and under DWS/DWS-NC sleep after T_SLEEP consecutive failed
+// steals (releasing the core slot).
+func (w *worker) loop() {
+	p := w.p
+	defer p.wg.Done()
+
+	if w.state.Load() == stateSleeping {
+		w.block()
+		if p.shutdown.Load() {
+			return
+		}
+	}
+
+	cfg := &p.sys.cfg
+	sleeper := cfg.Policy == DWS || cfg.Policy == DWSNC
+	for {
+		if p.shutdown.Load() {
+			return
+		}
+		// Eviction check (DWS): an active worker whose slot is no longer
+		// occupied by its program stops and sleeps without releasing.
+		if cfg.Policy == DWS && p.sys.table.Occupant(w.id) != p.id {
+			p.sys.table.AckEviction(w.id)
+			p.st.evictions.Add(1)
+			w.park(false)
+			continue
+		}
+
+		if t := w.deque.Pop(); t != nil {
+			w.failedSteals = 0
+			w.execute(t)
+			continue
+		}
+		if t := w.trySteal(); t != nil {
+			w.failedSteals = 0
+			p.st.steals.Add(1)
+			w.execute(t)
+			continue
+		}
+		w.failedSteals++
+		p.st.failedSteals.Add(1)
+		if sleeper && w.failedSteals > cfg.TSleep {
+			if w.park(true) {
+				continue
+			}
+		}
+		// The ABP yield (and the backoff between failed attempts).
+		runtime.Gosched()
+	}
+}
+
+// trySteal scans the victims once in random order, then the program's
+// injection queue. A full scan without success counts as one failed steal
+// attempt toward T_SLEEP.
+func (w *worker) trySteal() *taskNode {
+	vs := w.p.victims[w.id]
+	if n := len(vs); n > 0 {
+		off := w.rng.Intn(n)
+		for i := 0; i < n; i++ {
+			if t := vs[(off+i)%n].deque.Steal(); t != nil {
+				return t
+			}
+		}
+	}
+	return w.p.inject.Steal()
+}
+
+// park puts the worker to sleep. release=true is the voluntary sleep of
+// Algorithm 1 (the slot is released in the table); eviction sleeps pass
+// false. It returns false if the worker is the program's last active
+// worker during a run and must keep stealing (liveness; DESIGN.md §5).
+func (w *worker) park(release bool) bool {
+	p := w.p
+	if p.shutdown.Load() {
+		return false
+	}
+	if n := p.active.Add(-1); n == 0 && p.runActive.Load() {
+		p.active.Add(1)
+		w.failedSteals = 0 // fresh drought window before the next attempt
+		return false
+	}
+	w.state.Store(stateSleeping)
+	if release && p.sys.cfg.Policy == DWS {
+		p.sys.table.Release(w.id, p.id)
+	}
+	p.st.sleeps.Add(1)
+	w.block()
+	return true
+}
+
+// block waits for a wake token (sent by Program.wake, which has already
+// flipped the state back to active and re-counted the worker).
+func (w *worker) block() {
+	<-w.wakeCh
+	w.failedSteals = 0
+}

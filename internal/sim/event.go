@@ -1,0 +1,46 @@
+package sim
+
+import "container/heap"
+
+// event is one scheduled action. Events with equal timestamps fire in
+// scheduling order (seq), which keeps simulations deterministic.
+type event struct {
+	at  int64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// schedule enqueues fn to run at absolute time at (clamped to now).
+func (m *Machine) schedule(at int64, fn func()) {
+	if at < m.now {
+		at = m.now
+	}
+	m.seq++
+	heap.Push(&m.events, &event{at: at, seq: m.seq, fn: fn})
+}
+
+// after enqueues fn to run delay µs from now.
+func (m *Machine) after(delay int64, fn func()) {
+	m.schedule(m.now+delay, fn)
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgResultEmpty(t *testing.T) {
+	var r ProgResult
+	if r.MeanRunUS() != 0 {
+		t.Fatal("MeanRunUS of empty result")
+	}
+	if r.Runs() != 0 {
+		t.Fatal("Runs of empty result")
+	}
+}
+
+func TestProgResultMean(t *testing.T) {
+	r := ProgResult{Stats: ProgStats{RunTimesUS: []int64{100, 200, 300}}}
+	if got := r.MeanRunUS(); got != 200 {
+		t.Fatalf("MeanRunUS = %v", got)
+	}
+	if r.Runs() != 3 {
+		t.Fatalf("Runs = %d", r.Runs())
+	}
+}
+
+func TestUtilizationEmptyResults(t *testing.T) {
+	var r Results
+	if r.Utilization() != 0 {
+		t.Fatal("Utilization of empty results")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := Results{Samples: []Sample{
+		{AtUS: 1, Running: []int32{0, 1, 12}},
+		{AtUS: 2, Running: []int32{2, 0, 9}},
+	}}
+	art := r.TimelineASCII(0)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d:\n%s", len(lines), art)
+	}
+	// Core 0: idle then p2; core 1: p1 then idle; core 2: '+' for >9, then 9.
+	if !strings.HasSuffix(lines[0], ".2") {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[1], "1.") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], "+9") {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestTimelineDownsample(t *testing.T) {
+	samples := make([]Sample, 100)
+	for i := range samples {
+		samples[i] = Sample{AtUS: int64(i), Running: []int32{1}}
+	}
+	r := Results{Samples: samples}
+	art := r.TimelineASCII(10)
+	line := strings.TrimRight(strings.Split(art, "\n")[0], "\n")
+	// "cN   " prefix plus exactly 10 sample columns.
+	if got := len(line) - len("c0   "); got != 10 {
+		t.Fatalf("columns = %d, want 10 (%q)", got, line)
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"dws/internal/task"
+)
+
+// runMix co-runs two graphs under a policy and returns each program's mean
+// run time in µs.
+func runMix(t *testing.T, pol Policy, a, b *task.Graph, seed int64) (float64, float64) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Policy = pol
+	cfg.Seed = seed
+	m, err := NewMachine(cfg, []*task.Graph{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(RunOpts{TargetRuns: 4, HorizonUS: 30_000_000_000})
+	if err != nil {
+		t.Fatalf("%v: %v", pol, err)
+	}
+	return res.Programs[0].MeanRunUS(), res.Programs[1].MeanRunUS()
+}
+
+// TestShapeProbe prints mean run times of an asymmetric mix (high
+// parallelism vs low parallelism) under each policy. Exploratory.
+func TestShapeProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	// A: highly parallel compute, 2s of work, parallelism >> 16.
+	a := &task.Graph{Name: "wide", Root: task.DivideAndConquer(9, 2, 4000, 20, 40), MemIntensity: 0.3}
+	// B: limited parallelism — iterative with 6 chunks per barrier and
+	// negligible serial sections; cannot use more than ~6 cores.
+	b := &task.Graph{Name: "narrow", Root: task.IterativeFor(300, 6, 1200, 5), MemIntensity: 0.6}
+
+	for _, pol := range []Policy{ABP, EP, DWS, DWSNC} {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		m, err := NewMachine(cfg, []*task.Graph{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(RunOpts{TargetRuns: 4, HorizonUS: 30_000_000_000})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		pa, pb := res.Programs[0], res.Programs[1]
+		t.Logf("%-6s wide=%8.0fµs narrow=%8.0fµs", pol, pa.MeanRunUS(), pb.MeanRunUS())
+		t.Logf("       narrow: steals=%d failed=%d sleeps=%d wakes=%d evict=%d claims=%d reclaims=%d spinUS=%d",
+			pb.Stats.Steals, pb.Stats.FailedSteals, pb.Stats.Sleeps, pb.Stats.Wakes,
+			pb.Stats.Evictions, pb.Stats.Claims, pb.Stats.Reclaims, pb.Stats.SpinUS)
+	}
+	// Solo baselines under plain work-stealing (ABP alone = traditional WS).
+	for _, g := range []*task.Graph{a, b} {
+		cfg := DefaultConfig()
+		cfg.Policy = ABP
+		m, _ := NewMachine(cfg, []*task.Graph{g})
+		res, err := m.Run(RunOpts{TargetRuns: 4, HorizonUS: 30_000_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("solo %-7s = %8.0fµs", g.Name, res.Programs[0].MeanRunUS())
+	}
+}

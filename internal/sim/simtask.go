@@ -1,0 +1,23 @@
+package sim
+
+import "dws/internal/task"
+
+// simTask is the per-run execution state of one task.Node. Graphs are
+// immutable; a fresh simTask tree grows lazily as nodes are spawned, so
+// the same Graph can be executed repeatedly (the Fig. 3 methodology).
+type simTask struct {
+	node    *task.Node
+	stage   int      // index of the stage currently executing or joining
+	pending int      // unfinished children of the current stage
+	parent  *simTask // nil for the root
+}
+
+// stageWork returns the serial work of the current stage in µs.
+func (t *simTask) stageWork() int64 {
+	return t.node.Stages[t.stage].Work
+}
+
+// stageChildren returns the children spawned by the current stage.
+func (t *simTask) stageChildren() []*task.Node {
+	return t.node.Stages[t.stage].Children
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"dws/internal/task"
+)
+
+// idealUS returns the classic greedy-scheduling lower bound max(T1/k, T∞).
+func idealUS(g *task.Graph, k int) float64 {
+	m := task.Analyze(g)
+	w := float64(m.Work) / float64(k)
+	if s := float64(m.Span); s > w {
+		return s
+	}
+	return w
+}
+
+func dncGraph(name string, depth int, leaf int64) *task.Graph {
+	return &task.Graph{
+		Name: name,
+		Root: task.DivideAndConquer(depth, 2, leaf, 20, 40),
+	}
+}
+
+// TestSoloSpeedup: a divide-and-conquer program alone on the machine
+// completes near the greedy lower bound under every policy (§4.4: DWS must
+// not hurt a solo program).
+func TestSoloSpeedup(t *testing.T) {
+	// 512 leaves × 4ms ≈ 2s of work; ideal on 16 cores ≈ 128ms.
+	g := dncGraph("dnc", 9, 4000)
+	ideal := idealUS(g, 16)
+	for _, pol := range []Policy{ABP, EP, DWS, DWSNC} {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		m, err := NewMachine(cfg, []*task.Graph{g})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		res, err := m.Run(RunOpts{TargetRuns: 3, HorizonUS: 3_000_000_000})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		mean := res.Programs[0].MeanRunUS()
+		if mean < ideal {
+			t.Fatalf("%v: mean run %.0fµs beats the lower bound %.0fµs", pol, mean, ideal)
+		}
+		if mean > 1.35*ideal+15_000 {
+			t.Fatalf("%v: mean run %.0fµs, want near ideal %.0fµs", pol, mean, ideal)
+		}
+	}
+}
+
+// TestCoRunCompletes: two programs co-run to completion under every policy.
+func TestCoRunCompletes(t *testing.T) {
+	for _, pol := range []Policy{ABP, EP, DWS, DWSNC} {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		a := dncGraph("a", 8, 2000)
+		b := dncGraph("b", 8, 2000)
+		m, err := NewMachine(cfg, []*task.Graph{a, b})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		res, err := m.Run(RunOpts{TargetRuns: 3, HorizonUS: 3_000_000_000})
+		if err != nil {
+			t.Fatalf("%v: %v (res=%v)", pol, err, res)
+		}
+		for _, p := range res.Programs {
+			if p.Runs() < 3 {
+				t.Fatalf("%v: %s completed %d runs, want >= 3", pol, p.Name, p.Runs())
+			}
+		}
+	}
+}

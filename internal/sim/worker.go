@@ -1,0 +1,205 @@
+package sim
+
+// wState is a worker's scheduling state.
+type wState int
+
+const (
+	// wOff: the worker does not participate (EP non-home workers, or the
+	// program finished its target runs).
+	wOff wState = iota
+	// wSleeping: blocked after exceeding T_SLEEP failed steals (or evicted);
+	// only a coordinator wake (or initial allocation) makes it runnable.
+	wSleeping
+	// wWaking: a wake is in flight (WakeLatencyUS has not elapsed yet).
+	wWaking
+	// wReady: in its core's run queue, not currently scheduled.
+	wReady
+	// wRunning: scheduled on its core and executing a task segment.
+	wRunning
+	// wSpinning: scheduled on its core, burning cycles in the steal loop.
+	wSpinning
+)
+
+func (s wState) String() string {
+	switch s {
+	case wOff:
+		return "off"
+	case wSleeping:
+		return "sleeping"
+	case wWaking:
+		return "waking"
+	case wReady:
+		return "ready"
+	case wRunning:
+		return "running"
+	case wSpinning:
+		return "spinning"
+	default:
+		return "?"
+	}
+}
+
+// Worker is one simulated worker thread. Worker i of a program is affined
+// to core i for its whole life (the paper's w_ij ↔ c_j affinity).
+type Worker struct {
+	prog  *Program
+	id    int // worker index == core index
+	state wState
+
+	// deque is the worker's task pool: the owner pushes/pops at the back,
+	// thieves steal from the front. It stays stealable while the worker
+	// sleeps (an evicted worker can park with queued tasks).
+	deque []*simTask
+
+	failedSteals int
+
+	// Victim-selection state: a shuffled cycle over the victim set. Each
+	// attempt takes the next victim; the order is reshuffled once per full
+	// pass. This keeps selection random (Algorithm 1 line 8) while
+	// guaranteeing a full scan every |victims| attempts, so T_SLEEP
+	// consecutive failures mean "no stealable work", not "unlucky draws".
+	order    []int
+	orderPos int
+
+	// Current segment execution state (valid while cur != nil).
+	cur           *simTask
+	remaining     float64 // ideal work µs left in the current segment
+	segEffStart   int64   // segment start after pending latency
+	segColdUntil  int64   // frozen cache-cold horizon
+	segWarmRate   float64 // wall µs per work µs when warm (LLC factor)
+	segColdFactor float64 // extra multiplier while cold
+
+	// pendingLatency is wall time (context switches, steal latency,
+	// coordinator overhead) charged to the next scheduled segment.
+	pendingLatency int64
+
+	// Spin bookkeeping (valid while state == wSpinning).
+	spinStart     int64
+	spinFS0       int
+	spinPeriod    int64 // wall µs per failed attempt during this spin
+	notifyPending bool
+
+	// gen invalidates scheduled segment/spin events after preemption,
+	// sleep or interrupt.
+	gen int64
+}
+
+// pushTask appends t to w's own deque (or the program's central pool in
+// work-sharing mode) and pokes any spinning siblings so they retry
+// immediately (models the near-instant pickup a real spinning thief gets,
+// which batched spinning would otherwise miss).
+func (m *Machine) pushTask(w *Worker, t *simTask) {
+	if m.cfg.WorkSharing {
+		w.prog.central = append(w.prog.central, t)
+	} else {
+		w.deque = append(w.deque, t)
+	}
+	m.notifySpinners(w.prog, w)
+}
+
+// popTask removes and returns the most recently pushed task, or nil.
+func (w *Worker) popTask() *simTask {
+	n := len(w.deque)
+	if n == 0 {
+		return nil
+	}
+	t := w.deque[n-1]
+	w.deque[n-1] = nil
+	w.deque = w.deque[:n-1]
+	return t
+}
+
+// stealFrom removes and returns w's oldest task, or nil.
+func (w *Worker) stealFrom() *simTask {
+	if len(w.deque) == 0 {
+		return nil
+	}
+	t := w.deque[0]
+	w.deque[0] = nil
+	w.deque = w.deque[1:]
+	return t
+}
+
+// nextVictim returns the next victim in w's shuffled cycle.
+func (w *Worker) nextVictim(victims []*Worker) *Worker {
+	if len(w.order) != len(victims) {
+		w.order = make([]int, len(victims))
+		for i := range w.order {
+			w.order[i] = i
+		}
+		w.orderPos = len(victims) // force a shuffle
+	}
+	if w.orderPos >= len(w.order) {
+		w.prog.rng.Shuffle(len(w.order), func(i, j int) {
+			w.order[i], w.order[j] = w.order[j], w.order[i]
+		})
+		w.orderPos = 0
+	}
+	v := victims[w.order[w.orderPos]]
+	w.orderPos++
+	return v
+}
+
+// notifySpinners schedules a steal retry for every spinning worker of p
+// other than pusher. Retries are deduplicated per worker, and the starting
+// offset rotates so no worker systematically wins or loses the race for
+// freshly pushed tasks (real thieves are desynchronised).
+func (m *Machine) notifySpinners(p *Program, pusher *Worker) {
+	n := len(p.workers)
+	p.notifyRR++
+	for i := 0; i < n; i++ {
+		s := p.workers[(i+p.notifyRR)%n]
+		if s == pusher || s.state != wSpinning || s.notifyPending {
+			continue
+		}
+		s.notifyPending = true
+		sw, gen := s, s.gen
+		m.after(0, func() {
+			sw.notifyPending = false
+			if sw.state != wSpinning || sw.gen != gen {
+				return
+			}
+			m.endSpin(sw)
+			sw.gen++
+			sw.state = wRunning
+			m.getWork(sw)
+		})
+	}
+}
+
+// beginSpin puts w (the current worker of its core) into the spin state
+// until deadline, at which point onDeadline runs. The spin also ends early
+// on preemption or a notify. period is the wall time one failed attempt
+// represents (used to convert elapsed spin back into failed steals).
+func (m *Machine) beginSpin(w *Worker, deadline int64, period int64, onDeadline func()) {
+	w.state = wSpinning
+	w.spinStart = m.now
+	w.spinFS0 = w.failedSteals
+	w.spinPeriod = period
+	gen := w.gen
+	m.schedule(deadline, func() {
+		if w.state != wSpinning || w.gen != gen {
+			return
+		}
+		m.endSpin(w)
+		w.gen++
+		onDeadline()
+	})
+}
+
+// endSpin folds elapsed spin time into failed-steal and waste accounting.
+// It does not change w.state; callers decide what happens next.
+func (m *Machine) endSpin(w *Worker) {
+	elapsed := m.now - w.spinStart
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	period := w.spinPeriod
+	if period <= 0 {
+		period = m.cfg.StealCostUS
+	}
+	attempts := elapsed / period
+	w.failedSteals = w.spinFS0 + int(attempts)
+	w.prog.stats.FailedSteals += attempts
+	w.prog.stats.SpinUS += elapsed
+}

@@ -1,0 +1,142 @@
+// Package stats provides the small set of summary statistics the benchmark
+// harness reports: mean, standard deviation, confidence intervals, min/max,
+// and normalisation helpers used to express co-run slowdowns.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CI95 returns the half-width of the ~95% confidence interval of the mean,
+// using the normal approximation (1.96 σ/√n). It returns 0 for n < 2.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev / math.Sqrt(float64(s.N))
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f ±%.3f min=%.3f max=%.3f",
+		s.N, s.Mean, s.CI95(), s.Min, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Normalize returns x/baseline, the paper's "normalised execution time"
+// (>1 means slower than the solo baseline). It panics if baseline <= 0.
+func Normalize(x, baseline float64) float64 {
+	if baseline <= 0 {
+		panic(fmt.Sprintf("stats: non-positive baseline %v", baseline))
+	}
+	return x / baseline
+}
+
+// Improvement returns the relative execution-time reduction of b vs a,
+// i.e. (a-b)/a: how much faster b is than a, as the paper reports
+// ("32.3% performance gain"). Positive means b is faster.
+func Improvement(a, b float64) float64 {
+	if a <= 0 {
+		panic(fmt.Sprintf("stats: non-positive reference %v", a))
+	}
+	return (a - b) / a
+}
+
+// JainIndex returns Jain's fairness index of xs:
+// (Σx)² / (n·Σx²) ∈ (0, 1], where 1 means perfectly equal values. The
+// paper's goal is "good and balanced performance"; applied to the
+// co-running programs' normalised slowdowns it quantifies "balanced".
+// It returns 0 for an empty sample and panics on negative values.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			panic(fmt.Sprintf("stats: negative value %v in JainIndex", x))
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1 // all zeros are equal
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// GeoMean returns the geometric mean of xs (0 for empty; panics on
+// non-positive values, which have no geometric mean).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: non-positive value %v in GeoMean", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Stddev != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Fatalf("CI95 of empty = %v", s.CI95())
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || !almostEq(s.Mean, 7) || s.Stddev != 0 || !almostEq(s.Median, 7) {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(s.Mean, 5) {
+		t.Fatalf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if !almostEq(s.Stddev, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("Stddev = %v", s.Stddev)
+	}
+	if !almostEq(s.Min, 2) || !almostEq(s.Max, 9) {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEq(s.Median, 4.5) {
+		t.Fatalf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if !almostEq(s.Median, 5) {
+		t.Fatalf("Median = %v, want 5", s.Median)
+	}
+}
+
+func TestNormalizeAndImprovement(t *testing.T) {
+	if !almostEq(Normalize(15, 10), 1.5) {
+		t.Fatal("Normalize(15,10)")
+	}
+	if !almostEq(Improvement(10, 8), 0.2) {
+		t.Fatal("Improvement(10,8)")
+	}
+	if !almostEq(Improvement(10, 12), -0.2) {
+		t.Fatal("Improvement(10,12)")
+	}
+}
+
+func TestNormalizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Normalize with zero baseline did not panic")
+		}
+	}()
+	Normalize(1, 0)
+}
+
+func TestImprovementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Improvement with zero reference did not panic")
+		}
+	}()
+	Improvement(0, 1)
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almostEq(GeoMean([]float64{1, 4}), 2) {
+		t.Fatal("GeoMean([1,4])")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil)")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !almostEq(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+}
+
+// Property: mean lies within [min, max]; stddev is non-negative; the
+// summary is invariant under permutation.
+func TestPropertySummary(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				xs[i] = 1 // clamp non-finite and overflow-prone values
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.Stddev < 0 {
+			return false
+		}
+		// Permute (reverse) and compare.
+		rev := make([]float64, len(xs))
+		for i, x := range xs {
+			rev[len(xs)-1-i] = x
+		}
+		s2 := Summarize(rev)
+		return almostEqRel(s.Mean, s2.Mean) && almostEqRel(s.Stddev, s2.Stddev) &&
+			s.Min == s2.Min && s.Max == s2.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEqRel(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// Property: Normalize is the inverse of multiplying by the baseline.
+func TestPropertyNormalizeRoundTrip(t *testing.T) {
+	f := func(x float64, base float64) bool {
+		x = math.Abs(x)
+		base = math.Abs(base) + 1
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsInf(base, 0) {
+			return true
+		}
+		return almostEqRel(Normalize(x, base)*base, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "n=3") || !strings.Contains(str, "mean=2.000") {
+		t.Fatalf("String = %q", str)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Fatal("empty")
+	}
+	if got := JainIndex([]float64{2, 2, 2}); !almostEq(got, 1) {
+		t.Fatalf("equal values: %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Fatalf("all zeros: %v", got)
+	}
+	// Classic: one user hogging everything among n gets 1/n.
+	if got := JainIndex([]float64{1, 0, 0, 0}); !almostEq(got, 0.25) {
+		t.Fatalf("hog: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative value accepted")
+		}
+	}()
+	JainIndex([]float64{-1})
+}
+
+// Property: Jain's index is scale-invariant and within (0, 1].
+func TestPropertyJainIndex(t *testing.T) {
+	f := func(raw []uint16, scaleRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		scaled := make([]float64, len(raw))
+		scale := float64(scaleRaw%9) + 1
+		for i, r := range raw {
+			xs[i] = float64(r)
+			scaled[i] = xs[i] * scale
+		}
+		j := JainIndex(xs)
+		if j <= 0 || j > 1+1e-12 {
+			return false
+		}
+		return almostEqRel(j, JainIndex(scaled))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

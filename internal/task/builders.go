@@ -1,0 +1,94 @@
+package task
+
+// Builders for the recurring graph shapes. The workload package composes
+// these into the paper's eight benchmarks; they are also handy for
+// synthetic stress graphs in tests.
+
+// ParallelFor returns a node spawning n leaves of leafWork microseconds
+// each: a flat data-parallel loop with one final barrier.
+func ParallelFor(n int, leafWork int64) *Node {
+	children := make([]*Node, n)
+	for i := range children {
+		children[i] = Leaf(leafWork)
+	}
+	return Fork(0, 0, children...)
+}
+
+// IterativeFor returns a node with iters stages, each spawning chunks
+// leaves of leafWork microseconds plus serialWork microseconds of serial
+// per-iteration work: the Heat/SOR/Jacobi shape.
+func IterativeFor(iters, chunks int, leafWork, serialWork int64) *Node {
+	stages := make([]Stage, iters)
+	for i := range stages {
+		children := make([]*Node, chunks)
+		for j := range children {
+			children[j] = Leaf(leafWork)
+		}
+		stages[i] = Stage{Work: serialWork, Children: children}
+	}
+	return Phases(stages...)
+}
+
+// DivideAndConquer returns a balanced recursion: depth levels, branch
+// children per node, leafWork at the leaves, and splitWork/mergeWork of
+// serial work around each internal node's recursion (the Mergesort/FFT
+// shape). depth = 0 yields a single leaf.
+func DivideAndConquer(depth, branch int, leafWork, splitWork, mergeWork int64) *Node {
+	if depth <= 0 {
+		return Leaf(leafWork)
+	}
+	children := make([]*Node, branch)
+	for i := range children {
+		children[i] = DivideAndConquer(depth-1, branch, leafWork, splitWork, mergeWork)
+	}
+	return Fork(splitWork, mergeWork, children...)
+}
+
+// ShrinkingFor returns a node with iters stages where stage i spawns
+// chunks leaves whose work shrinks linearly from leafWork to roughly
+// leafWork*(1)/iters — the triangular profile of Gaussian elimination and
+// LU, where each elimination step touches a smaller trailing matrix.
+func ShrinkingFor(iters, chunks int, leafWork, serialWork int64) *Node {
+	stages := make([]Stage, iters)
+	for i := range stages {
+		frac := float64(iters-i) / float64(iters)
+		w := int64(float64(leafWork) * frac)
+		if w < 1 {
+			w = 1
+		}
+		children := make([]*Node, chunks)
+		for j := range children {
+			children[j] = Leaf(w)
+		}
+		stages[i] = Stage{Work: serialWork, Children: children}
+	}
+	return Phases(stages...)
+}
+
+// Serial returns a purely sequential node of the given work — useful to
+// model serial sections between parallel phases.
+func Serial(work int64) *Node { return Leaf(work) }
+
+// Chain composes nodes so they run strictly one after another: a parent
+// with one stage per element, each spawning exactly that element.
+func Chain(nodes ...*Node) *Node {
+	stages := make([]Stage, len(nodes))
+	for i, n := range nodes {
+		stages[i] = Stage{Children: []*Node{n}}
+	}
+	return Phases(stages...)
+}
+
+// Imbalanced returns a two-child fork where the left subtree carries frac
+// of the work as one serial lump and the right subtree is a ParallelFor
+// over the rest — a workload with a long sequential tail that cannot use
+// many cores, used to exercise demand-driven core release.
+func Imbalanced(totalWork int64, frac float64, chunks int) *Node {
+	serial := int64(float64(totalWork) * frac)
+	rest := totalWork - serial
+	leaf := rest / int64(chunks)
+	if leaf < 1 {
+		leaf = 1
+	}
+	return Fork(0, 0, Serial(serial), ParallelFor(chunks, leaf))
+}

@@ -1,0 +1,57 @@
+package task
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format: one node per task
+// labelled with its per-stage work, and one edge per spawn, labelled with
+// the stage index that spawns the child. Useful to inspect workload
+// shapes (`dwssim -dot`).
+func WriteDOT(w io.Writer, g *Graph) error {
+	if err := Validate(g); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box];\n", g.Name); err != nil {
+		return err
+	}
+	ids := map[*Node]int{}
+	next := 0
+	var emit func(n *Node) error
+	emit = func(n *Node) error {
+		id := next
+		ids[n] = id
+		next++
+		label := n.Label
+		if label == "" {
+			label = fmt.Sprintf("n%d", id)
+		}
+		works := ""
+		for i, st := range n.Stages {
+			if i > 0 {
+				works += "+"
+			}
+			works += fmt.Sprintf("%d", st.Work)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\\n%sµs\"];\n", id, label, works); err != nil {
+			return err
+		}
+		for si, st := range n.Stages {
+			for _, c := range st.Children {
+				if err := emit(c); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"s%d\"];\n", id, ids[c], si); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := emit(g.Root); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,59 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := &Graph{Name: "toy", Root: Fork(10, 20, Leaf(5), Leaf(7))}
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "toy"`, "n0 -> n1", "n0 -> n2", "5µs", "7µs", "10+20µs", "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Edge count equals node count − 1 for a tree.
+	if got := strings.Count(out, "->"); got != 2 {
+		t.Errorf("edges = %d, want 2", got)
+	}
+}
+
+func TestWriteDOTLabels(t *testing.T) {
+	n := Leaf(3)
+	n.Label = "leafy"
+	g := &Graph{Name: "l", Root: n}
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "leafy") {
+		t.Error("custom label not rendered")
+	}
+}
+
+func TestWriteDOTInvalid(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, &Graph{Name: "bad"}); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}
+
+// TestWriteDOTNodeCount: every node of a larger graph is emitted once.
+func TestWriteDOTNodeCount(t *testing.T) {
+	g := &Graph{Name: "big", Root: DivideAndConquer(4, 2, 10, 1, 2)}
+	m := Analyze(g)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "label=\"n"); got != m.Nodes {
+		t.Errorf("emitted %d nodes, want %d", got, m.Nodes)
+	}
+}

@@ -1,0 +1,34 @@
+package task_test
+
+import (
+	"fmt"
+
+	"dws/internal/task"
+)
+
+// Example builds a small divide-and-conquer graph and reports its classic
+// work/span metrics.
+func Example() {
+	g := &task.Graph{
+		Name: "toy",
+		// Two levels of binary recursion: 4 leaves of 100µs, 10µs to
+		// split, 20µs to merge.
+		Root: task.DivideAndConquer(2, 2, 100, 10, 20),
+	}
+	if err := task.Validate(g); err != nil {
+		panic(err)
+	}
+	m := task.Analyze(g)
+	fmt.Printf("work=%dµs span=%dµs parallelism=%.2f nodes=%d\n",
+		m.Work, m.Span, m.Parallelism(), m.Nodes)
+	// Output: work=490µs span=160µs parallelism=3.06 nodes=7
+}
+
+// ExamplePhases models an iterative stencil: three barriered sweeps of
+// four chunks each.
+func ExamplePhases() {
+	g := &task.Graph{Name: "sweeps", Root: task.IterativeFor(3, 4, 50, 5)}
+	m := task.Analyze(g)
+	fmt.Printf("work=%dµs span=%dµs\n", m.Work, m.Span)
+	// Output: work=615µs span=165µs
+}

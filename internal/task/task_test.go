@@ -1,0 +1,255 @@
+package task
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func graph(root *Node) *Graph { return &Graph{Name: "t", Root: root} }
+
+func TestLeafMetrics(t *testing.T) {
+	m := Analyze(graph(Leaf(100)))
+	if m.Work != 100 || m.Span != 100 || m.Nodes != 1 || m.MaxDepth != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Parallelism() != 1 {
+		t.Fatalf("parallelism = %v", m.Parallelism())
+	}
+}
+
+func TestForkMetrics(t *testing.T) {
+	// pre=10, two leaves of 50, post=20: work=130, span=10+50+20=80.
+	g := graph(Fork(10, 20, Leaf(50), Leaf(50)))
+	m := Analyze(g)
+	if m.Work != 130 {
+		t.Fatalf("Work = %d, want 130", m.Work)
+	}
+	if m.Span != 80 {
+		t.Fatalf("Span = %d, want 80", m.Span)
+	}
+	if m.Nodes != 3 || m.MaxDepth != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestPhasesSpanAddsAcrossStages(t *testing.T) {
+	// Two barriered phases, each spawning 4 leaves of 10: span = 2*10.
+	g := graph(IterativeFor(2, 4, 10, 0))
+	m := Analyze(g)
+	if m.Work != 80 {
+		t.Fatalf("Work = %d, want 80", m.Work)
+	}
+	if m.Span != 20 {
+		t.Fatalf("Span = %d, want 20", m.Span)
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	g := graph(ParallelFor(8, 25))
+	m := Analyze(g)
+	if m.Work != 200 || m.Span != 25 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if p := m.Parallelism(); p != 8 {
+		t.Fatalf("parallelism = %v, want 8", p)
+	}
+}
+
+func TestDivideAndConquer(t *testing.T) {
+	// depth=3, branch=2: 8 leaves of 10, 7 internal nodes with split=1 merge=2.
+	g := graph(DivideAndConquer(3, 2, 10, 1, 2))
+	m := Analyze(g)
+	wantWork := int64(8*10 + 7*(1+2))
+	if m.Work != wantWork {
+		t.Fatalf("Work = %d, want %d", m.Work, wantWork)
+	}
+	// span = 3 levels of (1 + ... + 2) + leaf: 3*(1+2) + 10.
+	if m.Span != 3*(1+2)+10 {
+		t.Fatalf("Span = %d, want %d", m.Span, 3*(1+2)+10)
+	}
+	if m.Nodes != 15 || m.MaxDepth != 4 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestDivideAndConquerDepthZero(t *testing.T) {
+	g := graph(DivideAndConquer(0, 2, 42, 1, 2))
+	m := Analyze(g)
+	if m.Work != 42 || m.Nodes != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestShrinkingFor(t *testing.T) {
+	g := graph(ShrinkingFor(4, 2, 100, 5))
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	m := Analyze(g)
+	// Stage leaf works: 100, 75, 50, 25; 2 chunks each + 4*5 serial.
+	want := int64(2*(100+75+50+25) + 4*5)
+	if m.Work != want {
+		t.Fatalf("Work = %d, want %d", m.Work, want)
+	}
+}
+
+func TestChainIsSequential(t *testing.T) {
+	g := graph(Chain(Leaf(10), Leaf(20), Leaf(30)))
+	m := Analyze(g)
+	if m.Work != 60 || m.Span != 60 {
+		t.Fatalf("metrics = %+v (chain must serialise)", m)
+	}
+}
+
+func TestImbalanced(t *testing.T) {
+	g := graph(Imbalanced(1000, 0.5, 10))
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	m := Analyze(g)
+	if m.Work < 900 || m.Work > 1100 {
+		t.Fatalf("Work = %d, want ~1000", m.Work)
+	}
+	// Span is dominated by the 500 serial lump.
+	if m.Span < 500 {
+		t.Fatalf("Span = %d, want >= 500", m.Span)
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	if err := Validate(nil); !errors.Is(err, ErrNilRoot) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := Validate(&Graph{}); !errors.Is(err, ErrNilRoot) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateNilChild(t *testing.T) {
+	g := graph(&Node{Stages: []Stage{{Work: 1, Children: []*Node{nil}}}})
+	if err := Validate(g); !errors.Is(err, ErrNilChild) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateNegativeWork(t *testing.T) {
+	g := graph(&Node{Stages: []Stage{{Work: -1}}})
+	if err := Validate(g); !errors.Is(err, ErrNegativeWork) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateSharedNode(t *testing.T) {
+	shared := Leaf(1)
+	g := graph(Fork(0, 0, shared, shared))
+	if err := Validate(g); !errors.Is(err, ErrShared) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateNoStages(t *testing.T) {
+	g := graph(&Node{})
+	if err := Validate(g); !errors.Is(err, ErrNoStages) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateIntensity(t *testing.T) {
+	g := &Graph{Root: Leaf(1), MemIntensity: 1.5}
+	if err := Validate(g); !errors.Is(err, ErrIntensity) {
+		t.Fatalf("err = %v", err)
+	}
+	g.MemIntensity = 1
+	if err := Validate(g); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWalkOrderAndEarlyStop(t *testing.T) {
+	g := graph(Fork(1, 1, Leaf(2), Fork(3, 3, Leaf(4))))
+	var depths []int
+	Walk(g, func(n *Node, depth int) bool {
+		depths = append(depths, depth)
+		return true
+	})
+	want := []int{1, 2, 2, 3}
+	if len(depths) != len(want) {
+		t.Fatalf("visited %v, want %v", depths, want)
+	}
+	for i := range want {
+		if depths[i] != want[i] {
+			t.Fatalf("visited %v, want %v", depths, want)
+		}
+	}
+	count := 0
+	Walk(g, func(n *Node, depth int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d, want 2", count)
+	}
+}
+
+// randomTree builds a random valid tree for property tests.
+func randomTree(rng *rand.Rand, depth int) *Node {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return Leaf(int64(rng.Intn(100) + 1))
+	}
+	nc := rng.Intn(3) + 1
+	children := make([]*Node, nc)
+	for i := range children {
+		children[i] = randomTree(rng, depth-1)
+	}
+	return Fork(int64(rng.Intn(10)), int64(rng.Intn(10)), children...)
+}
+
+// Property: span <= work; both positive; validation passes; node count
+// matches Walk's visit count.
+func TestPropertyMetricsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph(randomTree(rng, 4))
+		if Validate(g) != nil {
+			return false
+		}
+		m := Analyze(g)
+		if m.Span > m.Work || m.Work <= 0 || m.Span <= 0 {
+			return false
+		}
+		visited := 0
+		Walk(g, func(*Node, int) bool { visited++; return true })
+		return visited == m.Nodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ParallelFor(n, w) has parallelism exactly n (for w > 0).
+func TestPropertyParallelForParallelism(t *testing.T) {
+	f := func(n uint8, w uint16) bool {
+		nn := int(n%64) + 1
+		ww := int64(w) + 1
+		m := Analyze(graph(ParallelFor(nn, ww)))
+		return m.Parallelism() == float64(nn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Analyze(graph(ParallelFor(4, 25)))
+	s := m.String()
+	if !strings.Contains(s, "work=100µs") || !strings.Contains(s, "parallelism=4.0") {
+		t.Fatalf("String = %q", s)
+	}
+	var zero Metrics
+	if zero.Parallelism() != 0 {
+		t.Fatal("zero-span parallelism should be 0")
+	}
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"testing"
+
+	"dws/internal/sim"
+	"dws/internal/task"
+)
+
+// TestRecorderOnRealMachine pins the trace-format contract: a DWS co-run
+// must produce classified sleep/claim/coord/run-done events (if the sim's
+// format strings drift, this catches it).
+func TestRecorderOnRealMachine(t *testing.T) {
+	wide := &task.Graph{Name: "wide", Root: task.DivideAndConquer(8, 2, 2000, 10, 20)}
+	narrow := &task.Graph{Name: "narrow", Root: task.Imbalanced(600_000, 0.8, 16)}
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sim.DWS
+	m, err := sim.NewMachine(cfg, []*task.Graph{wide, narrow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Recorder{}
+	m.Trace = r.Hook()
+	if _, err := m.Run(sim.RunOpts{TargetRuns: 2, HorizonUS: 120_000_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summary()
+	t.Logf("summary: %v (total %d, dropped %d)", s, len(r.Events), r.Dropped)
+	for _, k := range []Kind{KindSleep, KindClaim, KindCoord, KindRunDone, KindPark} {
+		if s[k] == 0 {
+			t.Errorf("no %v events classified — did the sim trace formats drift?", k)
+		}
+	}
+	if s[KindOther] > len(r.Events)/2 {
+		t.Errorf("%d unclassified events of %d", s[KindOther], len(r.Events))
+	}
+	// Events of program 2 (narrow) must include its run completions.
+	done := 0
+	for _, ev := range r.ByProg(2) {
+		if ev.Kind == KindRunDone {
+			done++
+		}
+	}
+	if done < 2 {
+		t.Errorf("narrow program logged %d run completions, want >= 2", done)
+	}
+}

@@ -1,0 +1,184 @@
+// Package trace turns the simulator's scheduling-event stream into typed,
+// queryable records: hook a Recorder into sim.Machine.Trace and get typed
+// events, per-kind summaries and JSONL export — the observability layer
+// behind "why did this program lose its cores?".
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind classifies a scheduling event.
+type Kind int
+
+// Event kinds, mirroring the DWS protocol vocabulary.
+const (
+	// KindOther is any event this package does not classify.
+	KindOther Kind = iota
+	// KindSleep: a worker went to sleep (voluntarily or after eviction).
+	KindSleep
+	// KindEvict: a worker observed that its core was reclaimed.
+	KindEvict
+	// KindClaim: a coordinator claimed a free core.
+	KindClaim
+	// KindReclaim: a coordinator reclaimed a borrowed home core.
+	KindReclaim
+	// KindCoord: a coordinator pass that decided to act (N_w > 0).
+	KindCoord
+	// KindRunDone: a program completed a run.
+	KindRunDone
+	// KindPark is the decision record preceding a voluntary sleep.
+	KindPark
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSleep:
+		return "sleep"
+	case KindEvict:
+		return "evict"
+	case KindClaim:
+		return "claim"
+	case KindReclaim:
+		return "reclaim"
+	case KindCoord:
+		return "coord"
+	case KindRunDone:
+		return "run-done"
+	case KindPark:
+		return "park"
+	default:
+		return "other"
+	}
+}
+
+// Event is one typed scheduling event.
+type Event struct {
+	// AtUS is the simulated timestamp.
+	AtUS int64 `json:"at_us"`
+	// Kind classifies the event.
+	Kind Kind `json:"-"`
+	// KindName is the kind's name (serialised form).
+	KindName string `json:"kind"`
+	// Prog is the acting program's ID (0 if not applicable).
+	Prog int32 `json:"prog,omitempty"`
+	// Worker / Core are the worker index and core involved (-1 if not
+	// applicable).
+	Worker int `json:"worker,omitempty"`
+	Core   int `json:"core,omitempty"`
+	// Text is the fully formatted trace line.
+	Text string `json:"text"`
+}
+
+// Recorder collects typed events from a sim.Machine.Trace hook.
+type Recorder struct {
+	// Max caps stored events (0 = 100k); past it, events are dropped and
+	// counted.
+	Max     int
+	Events  []Event
+	Dropped int
+}
+
+// Hook returns a function to assign to sim.Machine.Trace.
+func (r *Recorder) Hook() func(timeUS int64, format string, args ...any) {
+	return func(timeUS int64, format string, args ...any) {
+		maxEv := r.Max
+		if maxEv <= 0 {
+			maxEv = 100_000
+		}
+		if len(r.Events) >= maxEv {
+			r.Dropped++
+			return
+		}
+		ev := classify(timeUS, format, args)
+		ev.KindName = ev.Kind.String()
+		r.Events = append(r.Events, ev)
+	}
+}
+
+// classify maps the simulator's stable trace formats to typed events.
+// The formats are a contract pinned by this package's tests.
+func classify(at int64, format string, args []any) Event {
+	ev := Event{AtUS: at, Worker: -1, Core: -1, Text: fmt.Sprintf(format, args...)}
+	geti := func(i int) int {
+		if i < len(args) {
+			if v, ok := args[i].(int); ok {
+				return v
+			}
+		}
+		return -1
+	}
+	getp := func(i int) int32 {
+		if i < len(args) {
+			if v, ok := args[i].(int32); ok {
+				return v
+			}
+		}
+		return 0
+	}
+	switch format {
+	case "p%d w%d sleeps (release=%v active=%d)":
+		ev.Kind, ev.Prog, ev.Worker = KindSleep, getp(0), geti(1)
+		ev.Core = ev.Worker
+	case "p%d w%d evicted":
+		ev.Kind, ev.Prog, ev.Worker = KindEvict, getp(0), geti(1)
+		ev.Core = ev.Worker
+	case "p%d claims c%d":
+		ev.Kind, ev.Prog, ev.Core = KindClaim, getp(0), geti(1)
+	case "p%d reclaims c%d from p%d":
+		ev.Kind, ev.Prog, ev.Core = KindReclaim, getp(0), geti(1)
+	case "p%d coord nb=%d na=%d nw=%d":
+		ev.Kind, ev.Prog = KindCoord, getp(0)
+	case "p%d run %d done in %dµs":
+		ev.Kind, ev.Prog = KindRunDone, getp(0)
+	case "p%d w%d park(spin) fs=%d":
+		ev.Kind, ev.Prog, ev.Worker = KindPark, getp(0), geti(1)
+		ev.Core = ev.Worker
+	}
+	return ev
+}
+
+// Summary counts events per kind.
+func (r *Recorder) Summary() map[Kind]int {
+	s := make(map[Kind]int)
+	for _, ev := range r.Events {
+		s[ev.Kind]++
+	}
+	return s
+}
+
+// ByKind returns the events of one kind, in order.
+func (r *Recorder) ByKind(k Kind) []Event {
+	var out []Event
+	for _, ev := range r.Events {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ByProg returns the events of one program, in order.
+func (r *Recorder) ByProg(prog int32) []Event {
+	var out []Event
+	for _, ev := range r.Events {
+		if ev.Prog == prog {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per event.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

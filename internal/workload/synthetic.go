@@ -1,0 +1,53 @@
+package workload
+
+import "dws/internal/task"
+
+// Synthetic workloads used by tests and the ablation experiments. They are
+// not part of the paper's Table 2 but isolate individual scheduler
+// behaviours.
+
+// Wide returns a massively parallel divide-and-conquer graph whose demand
+// always exceeds the machine: the "wants every core" extreme.
+func Wide(scale float64) *task.Graph {
+	return &task.Graph{
+		Name:         "Wide",
+		Root:         task.DivideAndConquer(9, 2, scaled(4000, scale), 20, 40),
+		MemIntensity: 0.3,
+		FootprintMB:  8,
+	}
+}
+
+// Serialish returns a graph dominated by one long serial section with a
+// small parallel prologue: the "wants one core" extreme.
+func Serialish(scale float64) *task.Graph {
+	return &task.Graph{
+		Name:         "Serialish",
+		Root:         task.Imbalanced(scaled(400_000, scale), 0.7, 32),
+		MemIntensity: 0.2,
+		FootprintMB:  4,
+	}
+}
+
+// Bursty alternates wide barriered phases with near-serial phases, so its
+// core demand oscillates on a coarse time scale — the workload DWS's
+// coordinator is designed to track.
+func Bursty(scale float64) *task.Graph {
+	const cycles = 12
+	stages := make([]task.Stage, 0, 2*cycles)
+	for i := 0; i < cycles; i++ {
+		wide := make([]*task.Node, 48)
+		for j := range wide {
+			wide[j] = task.Leaf(scaled(1500, scale))
+		}
+		stages = append(stages, task.Stage{Work: 10, Children: wide})
+		stages = append(stages, task.Stage{Work: scaled(12_000, scale), Children: []*task.Node{
+			task.Leaf(scaled(1500, scale)), task.Leaf(scaled(1500, scale)),
+		}})
+	}
+	return &task.Graph{
+		Name:         "Bursty",
+		Root:         task.Phases(stages...),
+		MemIntensity: 0.4,
+		FootprintMB:  16,
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+
+	"dws/internal/task"
+)
+
+// TestAllGraphsValid validates every registry benchmark at several scales.
+func TestAllGraphsValid(t *testing.T) {
+	for _, b := range Registry {
+		for _, scale := range []float64{0.05, 0.25, 1.0} {
+			g := b.Make(scale)
+			if err := task.Validate(g); err != nil {
+				t.Errorf("%s scale %.2f: %v", b.ID, scale, err)
+			}
+			if g.Name != b.Name {
+				t.Errorf("%s: graph name %q != benchmark name %q", b.ID, g.Name, b.Name)
+			}
+		}
+	}
+}
+
+// TestParallelismProfiles pins the intended demand profile of each
+// benchmark: FFT/Heat/SOR are wide, Mergesort is narrow, the
+// factorisations sit in between.
+func TestParallelismProfiles(t *testing.T) {
+	par := map[string]float64{}
+	for _, b := range Registry {
+		m := task.Analyze(b.Make(1.0))
+		par[b.Name] = m.Parallelism()
+		t.Logf("%-9s %v", b.Name, m)
+	}
+	if par["FFT"] < 32 {
+		t.Errorf("FFT parallelism %.1f, want wide (>=32)", par["FFT"])
+	}
+	if par["Heat"] < 32 {
+		t.Errorf("Heat parallelism %.1f, want wide (>=32)", par["Heat"])
+	}
+	if par["SOR"] < 16 {
+		t.Errorf("SOR parallelism %.1f, want wide (>=16)", par["SOR"])
+	}
+	if par["Mergesort"] > 16 {
+		t.Errorf("Mergesort parallelism %.1f, want narrow (<=16)", par["Mergesort"])
+	}
+	if par["Mergesort"] < 4 {
+		t.Errorf("Mergesort parallelism %.1f, implausibly narrow", par["Mergesort"])
+	}
+	for _, n := range []string{"Cholesky", "LU", "GE", "PNN"} {
+		if par[n] < 10 || par[n] > 64 {
+			t.Errorf("%s parallelism %.1f, want medium (10..64)", n, par[n])
+		}
+	}
+}
+
+// TestScaleMonotonic: scaling up increases total work.
+func TestScaleMonotonic(t *testing.T) {
+	for _, b := range Registry {
+		small := task.Analyze(b.Make(0.1)).Work
+		big := task.Analyze(b.Make(1.0)).Work
+		if big <= small {
+			t.Errorf("%s: work at scale 1.0 (%d) <= work at 0.1 (%d)", b.ID, big, small)
+		}
+	}
+}
+
+// TestSoloRunSizes: at scale 1.0, every benchmark's ideal 16-core run time
+// sits in the hundreds of milliseconds (so coordinator ramps are noise,
+// like the paper's seconds-scale inputs).
+func TestSoloRunSizes(t *testing.T) {
+	for _, b := range Registry {
+		m := task.Analyze(b.Make(1.0))
+		ideal := float64(m.Work) / 16
+		if s := float64(m.Span); s > ideal {
+			ideal = s
+		}
+		if ideal < 100_000 || ideal > 2_000_000 {
+			t.Errorf("%s: ideal run %.0fµs outside [100ms, 2s]", b.ID, ideal)
+		}
+	}
+}
+
+// TestNodeBudget keeps event counts manageable for the harness.
+func TestNodeBudget(t *testing.T) {
+	for _, b := range Registry {
+		m := task.Analyze(b.Make(1.0))
+		if m.Nodes > 40_000 {
+			t.Errorf("%s: %d nodes, too many for the simulator budget", b.ID, m.Nodes)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	b, err := ByID("p-6")
+	if err != nil || b.Name != "Heat" {
+		t.Fatalf("ByID(p-6) = %v, %v", b, err)
+	}
+	if _, err := ByID("p-99"); err == nil {
+		t.Fatal("ByID(p-99) succeeded")
+	}
+	b, err = ByName("SOR")
+	if err != nil || b.ID != "p-7" {
+		t.Fatalf("ByName(SOR) = %v, %v", b, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) succeeded")
+	}
+	if n := len(IDs()); n != 8 {
+		t.Fatalf("IDs() has %d entries, want 8", n)
+	}
+}
+
+func TestSyntheticValid(t *testing.T) {
+	for _, mk := range []func(float64) *task.Graph{Wide, Serialish, Bursty} {
+		g := mk(1.0)
+		if err := task.Validate(g); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+	// Serialish must be genuinely narrow; Wide genuinely wide.
+	if p := task.Analyze(Serialish(1)).Parallelism(); p > 2 {
+		t.Errorf("Serialish parallelism %.1f, want <= 2", p)
+	}
+	if p := task.Analyze(Wide(1)).Parallelism(); p < 50 {
+		t.Errorf("Wide parallelism %.1f, want >= 50", p)
+	}
+}
