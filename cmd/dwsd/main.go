@@ -1,0 +1,98 @@
+// Command dwsd is the DWS job-serving daemon: a multi-tenant HTTP service
+// hosting one live rt.System. Tenants submit kernel jobs over POST
+// /v1/jobs; each tenant is a co-running work-stealing program, so served
+// jobs contend for cores under the configured policy exactly as the
+// paper's co-running programs do.
+//
+// Endpoints: POST /v1/jobs, GET /v1/tenants, DELETE /v1/tenants/{name},
+// GET /v1/info, GET /healthz, GET /metrics (Prometheus text).
+//
+// Example:
+//
+//	dwsd -addr :8080 -cores 8 -policy DWS -tenants 4
+//	curl -s localhost:8080/v1/jobs -d '{"tenant":"alice","kernel":"FFT","size":0.25}'
+//
+// SIGINT/SIGTERM drains gracefully: admission stops, queued jobs finish,
+// then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dws/internal/rt"
+	"dws/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cores    = flag.Int("cores", 8, "core slots k (sets GOMAXPROCS)")
+		policy   = flag.String("policy", "DWS", "ABP|EP|DWS|DWS-NC")
+		tenants  = flag.Int("tenants", 0, "max co-running tenants m (0 = cores)")
+		queue    = flag.Int("queue", 16, "per-tenant admission queue depth")
+		deadline = flag.Duration("deadline", 30*time.Second, "default per-job deadline")
+		defSize  = flag.Float64("default-size", 0.25, "default job input scale")
+		maxSize  = flag.Float64("max-size", 1.0, "maximum job input scale")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Parse()
+
+	pol, err := rt.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatalf("dwsd: %v", err)
+	}
+	runtime.GOMAXPROCS(*cores)
+	if *tenants <= 0 {
+		*tenants = *cores
+	}
+
+	s, err := server.New(server.Config{
+		Cores:           *cores,
+		Policy:          pol,
+		MaxTenants:      *tenants,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		DefaultSize:     *defSize,
+		MaxSize:         *maxSize,
+	})
+	if err != nil {
+		log.Fatalf("dwsd: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("dwsd: serving on %s (policy=%v cores=%d tenants≤%d queue=%d)",
+		*addr, pol, *cores, *tenants, *queue)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("dwsd: %v", err)
+	case sig := <-sigCh:
+		log.Printf("dwsd: %v — draining (budget %v)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop taking new connections, let in-flight requests finish, and
+	// drain the admission queues.
+	if err := s.Shutdown(ctx); err != nil {
+		log.Printf("dwsd: drain incomplete: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dwsd: http shutdown: %v", err)
+	}
+	fmt.Println("dwsd: drained, bye")
+}

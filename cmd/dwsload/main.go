@@ -1,0 +1,207 @@
+// Command dwsload is an open-loop load generator for dwsd: it fires job
+// submissions at a fixed aggregate request rate — independent of how fast
+// the server answers, the honest way to measure a served system — and
+// reports per-tenant and overall throughput, rejection counts, and
+// latency percentiles, labeled with the server's scheduling policy.
+//
+// Example (two co-running tenants, the paper's mix (1, 8), 20 req/s):
+//
+//	dwsd -cores 8 -policy DWS &
+//	dwsload -rate 20 -duration 15s -tenants alice=FFT,bob=Mergesort -size 0.1
+//
+// Re-run against dwsd -policy ABP (etc.) to compare policies under the
+// same served load.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dws/internal/server"
+	"dws/internal/stats"
+)
+
+type result struct {
+	tenant  string
+	code    int
+	err     bool
+	totalMS float64 // client-observed end-to-end latency
+	queueMS float64 // server-reported queue wait
+	runMS   float64 // server-reported run time
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "dwsd base URL")
+		rate     = flag.Float64("rate", 20, "aggregate submission rate (req/s), open loop")
+		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		tenants  = flag.String("tenants", "alice=FFT,bob=Mergesort", "tenant=kernel pairs, round-robin")
+		size     = flag.Float64("size", 0.1, "job input scale")
+		deadline = flag.Duration("deadline", 0, "per-job deadline (0 = server default)")
+	)
+	flag.Parse()
+
+	pairs, err := parseTenants(*tenants)
+	if err != nil {
+		fatal(err)
+	}
+	if *rate <= 0 {
+		fatal(fmt.Errorf("rate must be positive"))
+	}
+
+	info, err := fetchInfo(*addr)
+	if err != nil {
+		fatal(fmt.Errorf("cannot reach dwsd at %s: %w", *addr, err))
+	}
+	fmt.Printf("dwsload: %v req/s for %v against %s (policy=%s cores=%d queue=%d)\n",
+		*rate, *duration, *addr, info.Policy, info.Cores, info.QueueDepth)
+
+	client := &http.Client{} // per-job deadlines come from the server side
+	interval := time.Duration(float64(time.Second) / *rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(*duration)
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []result
+	)
+	sent := 0
+	begin := time.Now()
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			p := pairs[sent%len(pairs)]
+			sent++
+			wg.Add(1)
+			go func(tenant, kernel string) {
+				defer wg.Done()
+				r := fire(client, *addr, server.JobRequest{
+					Tenant:     tenant,
+					Kernel:     kernel,
+					Size:       *size,
+					DeadlineMS: int64(*deadline / time.Millisecond),
+				})
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}(p[0], p[1])
+		}
+	}
+	wg.Wait() // open loop stops *sending*; in-flight jobs still finish
+	elapsed := time.Since(begin)
+
+	report(os.Stdout, info, pairs, results, sent, elapsed)
+}
+
+// fire submits one job and classifies the outcome.
+func fire(client *http.Client, addr string, req server.JobRequest) result {
+	body, _ := json.Marshal(req)
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	r := result{tenant: req.Tenant, totalMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	if err != nil {
+		r.err = true
+		return r
+	}
+	defer resp.Body.Close()
+	r.code = resp.StatusCode
+	var res server.JobResult
+	if json.NewDecoder(resp.Body).Decode(&res) == nil && resp.StatusCode == http.StatusOK {
+		r.queueMS, r.runMS = res.QueueMS, res.RunMS
+	}
+	io.Copy(io.Discard, resp.Body)
+	return r
+}
+
+// report renders the per-tenant and overall table.
+func report(w io.Writer, info server.Info, pairs [][2]string, results []result, sent int, elapsed time.Duration) {
+	kernelOf := make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		kernelOf[p[0]] = p[1]
+	}
+	byTenant := make(map[string][]result)
+	for _, r := range results {
+		byTenant[r.tenant] = append(byTenant[r.tenant], r)
+	}
+	names := make([]string, 0, len(byTenant))
+	for n := range byTenant {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "\npolicy=%s elapsed=%.1fs sent=%d (open loop)\n", info.Policy, elapsed.Seconds(), sent)
+	fmt.Fprintf(w, "%-10s %-10s %6s %6s %6s %5s %10s %9s %9s %9s\n",
+		"tenant", "kernel", "sent", "ok", "429", "other", "thr(job/s)", "p50(ms)", "p95(ms)", "p99(ms)")
+	line := func(name, kernel string, rs []result) {
+		var ok, rejected, other int
+		var lat []float64
+		for _, r := range rs {
+			switch {
+			case r.code == http.StatusOK:
+				ok++
+				lat = append(lat, r.totalMS)
+			case r.code == http.StatusTooManyRequests:
+				rejected++
+			default:
+				other++
+			}
+		}
+		fmt.Fprintf(w, "%-10s %-10s %6d %6d %6d %5d %10.2f %9.1f %9.1f %9.1f\n",
+			name, kernel, len(rs), ok, rejected, other,
+			float64(ok)/elapsed.Seconds(),
+			stats.Percentile(lat, 50), stats.Percentile(lat, 95), stats.Percentile(lat, 99))
+	}
+	var all []result
+	for _, name := range names {
+		line(name, kernelOf[name], byTenant[name])
+		all = append(all, byTenant[name]...)
+	}
+	line("overall", "-", all)
+}
+
+func fetchInfo(addr string) (server.Info, error) {
+	resp, err := http.Get(addr + "/v1/info")
+	if err != nil {
+		return server.Info{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.Info{}, fmt.Errorf("GET /v1/info: %s", resp.Status)
+	}
+	var info server.Info
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+func parseTenants(s string) ([][2]string, error) {
+	var pairs [][2]string
+	for _, part := range strings.Split(s, ",") {
+		name, kernel, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || kernel == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q (want name=kernel)", part)
+		}
+		pairs = append(pairs, [2]string{name, kernel})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("-tenants must name at least one tenant")
+	}
+	return pairs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dwsload: %v\n", err)
+	os.Exit(1)
+}

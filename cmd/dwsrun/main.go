@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,8 +18,20 @@ import (
 
 	"dws/internal/bench"
 	"dws/internal/rt"
+	"dws/internal/server"
 	"dws/internal/task"
 )
+
+// jsonReport is the -json output: one record per run, in the job server's
+// wire schema (internal/server), so CLI results and served-load results
+// can be compared with the same tooling.
+type jsonReport struct {
+	Policy string             `json:"policy"`
+	Cores  int                `json:"cores"`
+	Runs   int                `json:"runs"`
+	Size   float64            `json:"size"`
+	Jobs   []server.JobResult `json:"jobs"`
+}
 
 func main() {
 	var (
@@ -29,6 +42,7 @@ func main() {
 		runs   = flag.Int("runs", 3, "runs per program")
 		size   = flag.Float64("size", 0.25, "input scale")
 		record = flag.Bool("record", false, "record -a's fork-join structure into a task graph and print its metrics instead of running it")
+		asJSON = flag.Bool("json", false, "emit machine-readable per-run results (the dwsd wire schema) instead of text")
 	)
 	flag.Parse()
 
@@ -66,7 +80,7 @@ func main() {
 	}
 
 	if *bName == "" {
-		if err := runSolo(pol, *cores, *runs, a); err != nil {
+		if err := runSolo(pol, *cores, *runs, *size, a, *asJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -79,13 +93,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *asJSON {
+		rep := jsonReport{Policy: pol.String(), Cores: *cores, Runs: *runs, Size: *size}
+		for i := 0; i < 2; i++ {
+			for r, sec := range res.PerRunSec[i] {
+				rep.Jobs = append(rep.Jobs, jobRecord(res.Names[i], pol, *cores, *size,
+					sec, res.PerRunStats[i][r]))
+			}
+		}
+		emitJSON(rep)
+		return
+	}
 	fmt.Printf("policy=%v cores=%d runs=%d\n", pol, *cores, *runs)
 	for i := 0; i < 2; i++ {
 		fmt.Printf("%-10s mean=%.3fs stats=%+v\n", res.Names[i], res.MeanSec[i], res.Stats[i])
 	}
 }
 
-func runSolo(pol rt.Policy, cores, runs int, lb bench.LiveBench) error {
+func runSolo(pol rt.Policy, cores, runs int, size float64, lb bench.LiveBench, asJSON bool) error {
 	prev := runtime.GOMAXPROCS(cores)
 	defer runtime.GOMAXPROCS(prev)
 	sys, err := rt.NewSystem(rt.Config{Cores: cores, Programs: 1, Policy: pol})
@@ -97,32 +122,69 @@ func runSolo(pol rt.Policy, cores, runs int, lb bench.LiveBench) error {
 	if err != nil {
 		return err
 	}
+	rep := jsonReport{Policy: pol.String(), Cores: cores, Runs: runs, Size: size}
 	var total time.Duration
 	for r := 0; r < runs; r++ {
 		task := lb.NewTask()
+		before := p.Stats()
 		start := time.Now()
 		if err := p.Run(task); err != nil {
 			return err
 		}
-		total += time.Since(start)
+		dur := time.Since(start)
+		total += dur
+		rep.Jobs = append(rep.Jobs, jobRecord(lb.Name, pol, cores, size,
+			dur.Seconds(), statsDelta(p.Stats(), before)))
+	}
+	if asJSON {
+		emitJSON(rep)
+		return nil
 	}
 	fmt.Printf("policy=%v cores=%d %s solo mean=%.3fs stats=%+v\n",
 		pol, cores, lb.Name, total.Seconds()/float64(runs), p.Stats())
 	return nil
 }
 
-func parsePolicy(s string) (rt.Policy, error) {
-	switch strings.ToUpper(s) {
-	case "ABP":
-		return rt.ABP, nil
-	case "EP":
-		return rt.EP, nil
-	case "DWS":
-		return rt.DWS, nil
-	case "DWS-NC", "DWSNC":
-		return rt.DWSNC, nil
+// jobRecord shapes one CLI run like one served job (queue wait is zero —
+// the CLI has no admission queue).
+func jobRecord(name string, pol rt.Policy, cores int, size, sec float64, st rt.Stats) server.JobResult {
+	runMS := sec * 1000
+	return server.JobResult{
+		Tenant:  name,
+		Kernel:  name,
+		Policy:  pol.String(),
+		Cores:   cores,
+		Size:    size,
+		Status:  server.StatusOK,
+		RunMS:   runMS,
+		TotalMS: runMS,
+		Stats:   server.FromRTStats(st),
 	}
-	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+func statsDelta(a, b rt.Stats) rt.Stats {
+	return rt.Stats{
+		Steals:       a.Steals - b.Steals,
+		FailedSteals: a.FailedSteals - b.FailedSteals,
+		Sleeps:       a.Sleeps - b.Sleeps,
+		Wakes:        a.Wakes - b.Wakes,
+		Evictions:    a.Evictions - b.Evictions,
+		Claims:       a.Claims - b.Claims,
+		Reclaims:     a.Reclaims - b.Reclaims,
+		Runs:         a.Runs - b.Runs,
+	}
+}
+
+func emitJSON(rep jsonReport) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+func parsePolicy(s string) (rt.Policy, error) {
+	return rt.ParsePolicy(s)
 }
 
 func fatal(err error) {

@@ -83,6 +83,25 @@ type LiveMixResult struct {
 	Names   [2]string
 	MeanSec [2]float64
 	Stats   [2]rt.Stats
+	// PerRunSec and PerRunStats record each individual run: wall time and
+	// the program's scheduler-counter deltas over that run (machine-
+	// readable output shares one schema with the job server's results).
+	PerRunSec   [2][]float64
+	PerRunStats [2][]rt.Stats
+}
+
+// subStats returns a - b counter-wise.
+func subStats(a, b rt.Stats) rt.Stats {
+	return rt.Stats{
+		Steals:       a.Steals - b.Steals,
+		FailedSteals: a.FailedSteals - b.FailedSteals,
+		Sleeps:       a.Sleeps - b.Sleeps,
+		Wakes:        a.Wakes - b.Wakes,
+		Evictions:    a.Evictions - b.Evictions,
+		Claims:       a.Claims - b.Claims,
+		Reclaims:     a.Reclaims - b.Reclaims,
+		Runs:         a.Runs - b.Runs,
+	}
 }
 
 // RunLiveMix co-runs two real-kernel benchmarks on the live runtime under
@@ -113,12 +132,16 @@ func RunLiveMix(pol rt.Policy, cores, runs int, a, b LiveBench) (LiveMixResult, 
 			var total time.Duration
 			for r := 0; r < runs; r++ {
 				task := lb.NewTask()
+				before := p.Stats()
 				start := time.Now()
 				if err := p.Run(task); err != nil {
 					errs[i] = err
 					return
 				}
-				total += time.Since(start)
+				dur := time.Since(start)
+				total += dur
+				res.PerRunSec[i] = append(res.PerRunSec[i], dur.Seconds())
+				res.PerRunStats[i] = append(res.PerRunStats[i], subStats(p.Stats(), before))
 			}
 			res.MeanSec[i] = total.Seconds() / float64(runs)
 			res.Stats[i] = p.Stats()

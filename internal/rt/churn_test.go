@@ -1,0 +1,151 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dws/internal/coretable"
+)
+
+// TestSlotReuseAfterClose is the direct regression test for program churn:
+// closing a program must free its slot for a later NewProgram.
+func TestSlotReuseAfterClose(t *testing.T) {
+	for _, pol := range []Policy{ABP, EP, DWS, DWSNC} {
+		t.Run(pol.String(), func(t *testing.T) {
+			s := testSystem(t, pol, 2)
+			a, err := s.NewProgram("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.NewProgram("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.NewProgram("c"); err == nil {
+				t.Fatal("third program on a 2-slot system should fail")
+			}
+			b.Close()
+			c, err := s.NewProgram("c")
+			if err != nil {
+				t.Fatalf("slot not reusable after Close: %v", err)
+			}
+			var sum atomic.Int64
+			task, want := parallelSum(&sum, 4)
+			if err := c.Run(task); err != nil {
+				t.Fatal(err)
+			}
+			if got := sum.Load(); got != want {
+				t.Fatalf("reused-slot program computed %d, want %d", got, want)
+			}
+			if err := b.Run(task); err != ErrClosed {
+				t.Fatalf("Run on closed program: got %v, want ErrClosed", err)
+			}
+			a.Close()
+			c.Close()
+			if free := s.FreeSlots(); free != 2 {
+				t.Fatalf("FreeSlots after closing all = %d, want 2", free)
+			}
+		})
+	}
+}
+
+// TestProgramChurnDWS stresses the dynamic program lifecycle a server
+// needs: long-lived programs keep running work while short-lived ones are
+// opened and closed in the remaining slots. At the end the core allocation
+// table must be fully released — no slot may still name a program that no
+// longer exists. Run with -race.
+func TestProgramChurnDWS(t *testing.T) {
+	const (
+		cores   = 8
+		slots   = 4
+		churner = 2 // slots subjected to open/close churn
+	)
+	s, err := NewSystem(Config{
+		Cores:       cores,
+		Programs:    slots,
+		Policy:      DWS,
+		CoordPeriod: time.Millisecond,
+		TSleep:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	deadline := time.Now().Add(1 * time.Second)
+	if testing.Short() {
+		deadline = time.Now().Add(200 * time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	// Long-lived tenants: repeatedly run small fork-join roots.
+	longLived := make([]*Program, slots-churner)
+	for i := range longLived {
+		p, err := s.NewProgram(fmt.Sprintf("steady-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		longLived[i] = p
+		wg.Add(1)
+		go func(p *Program) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				var sum atomic.Int64
+				task, want := parallelSum(&sum, 5)
+				if err := p.Run(task); err != nil {
+					t.Errorf("steady run: %v", err)
+					return
+				}
+				if sum.Load() != want {
+					t.Errorf("steady run computed %d, want %d", sum.Load(), want)
+					return
+				}
+			}
+		}(p)
+	}
+	// Churners: open, run once, close, repeat — competing for the same
+	// slots so NewProgram failure (all busy) is expected and retried.
+	var churnOpens atomic.Int64
+	for g := 0; g < churner+1; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				p, err := s.NewProgram(fmt.Sprintf("churn-%d-%d", g, i))
+				if err != nil {
+					time.Sleep(time.Millisecond) // all slots busy; retry
+					continue
+				}
+				churnOpens.Add(1)
+				var sum atomic.Int64
+				task, want := parallelSum(&sum, 3)
+				if err := p.Run(task); err != nil {
+					t.Errorf("churn run: %v", err)
+				} else if sum.Load() != want {
+					t.Errorf("churn run computed %d, want %d", sum.Load(), want)
+				}
+				p.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if churnOpens.Load() == 0 {
+		t.Fatal("churners never managed to open a program")
+	}
+	for _, p := range longLived {
+		p.Close()
+	}
+
+	// Every program has closed: the allocation table must be fully free.
+	for c, occ := range s.Occupants() {
+		if occ != coretable.Free {
+			t.Errorf("core %d still claimed by program id %d after all programs closed", c, occ)
+		}
+	}
+	if free := s.FreeSlots(); free != slots {
+		t.Errorf("FreeSlots = %d, want %d", free, slots)
+	}
+}

@@ -77,6 +77,10 @@ func newProgram(s *System, name string, idx int) *Program {
 // Name returns the program's name.
 func (p *Program) Name() string { return p.name }
 
+// Slot returns the program's slot index in its system (0-based; its
+// 1-based core allocation table ID is Slot()+1).
+func (p *Program) Slot() int { return p.idx }
+
 // Home returns the program's home core slots (the initial even share).
 func (p *Program) Home() []int { return append([]int(nil), p.home...) }
 
@@ -249,6 +253,9 @@ waitLoop:
 			p.sys.table.Release(c, p.id)
 		}
 	}
+	// Only after every goroutine has exited and every table entry is
+	// released may the slot (and with it the 1-based table ID) be reused.
+	p.sys.detach(p)
 }
 
 // coordinate is the coordinator loop (§3.3) for DWS and DWS-NC.

@@ -29,6 +29,7 @@ package rt
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +62,22 @@ func (p Policy) String() string {
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
+}
+
+// ParsePolicy parses a policy name as printed by Policy.String,
+// case-insensitively ("DWS-NC" and "DWSNC" both work).
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToUpper(s) {
+	case "ABP":
+		return ABP, nil
+	case "EP":
+		return EP, nil
+	case "DWS":
+		return DWS, nil
+	case "DWS-NC", "DWSNC":
+		return DWSNC, nil
+	}
+	return 0, fmt.Errorf("rt: unknown policy %q", s)
 }
 
 // Config describes a System.
@@ -108,15 +125,15 @@ type System struct {
 	table *coretable.Table // non-nil only under DWS
 
 	mu    sync.Mutex
-	progs []*Program
+	slots []*Program // one entry per program slot; nil while free
 }
 
-// NewSystem creates a system for cfg.Programs co-running programs.
+// NewSystem creates a system for up to cfg.Programs co-running programs.
 func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg}
+	s := &System{cfg: cfg, slots: make([]*Program, cfg.Programs)}
 	if cfg.Policy == DWS {
 		s.table = coretable.NewMem(cfg.Cores)
 	}
@@ -129,27 +146,79 @@ func (s *System) Cores() int { return s.cfg.Cores }
 // Policy returns the system's scheduling policy.
 func (s *System) Policy() Policy { return s.cfg.Policy }
 
-// NewProgram registers the next program (at most cfg.Programs of them) and
-// starts its workers and coordinator. Callers must Close it.
+// MaxPrograms returns m, the number of program slots.
+func (s *System) MaxPrograms() int { return s.cfg.Programs }
+
+// FreeSlots returns how many program slots are currently unoccupied.
+func (s *System) FreeSlots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range s.slots {
+		if p == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Programs returns a snapshot of the currently hosted programs.
+func (s *System) Programs() []*Program {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ps []*Program
+	for _, p := range s.slots {
+		if p != nil {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// Occupants returns the core allocation table's occupancy snapshot, one
+// 1-based program ID (or 0 = free) per core slot. It returns nil for
+// policies without a table.
+func (s *System) Occupants() []int32 {
+	if s.table == nil {
+		return nil
+	}
+	return s.table.Snapshot()
+}
+
+// NewProgram registers a program in the lowest free slot (at most
+// cfg.Programs co-run at once; a slot freed by Program.Close is reusable)
+// and starts its workers and coordinator. Callers must Close it.
 func (s *System) NewProgram(name string) (*Program, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	idx := len(s.progs)
-	if idx >= s.cfg.Programs {
+	idx := -1
+	for i, p := range s.slots {
+		if p == nil {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
 		return nil, fmt.Errorf("rt: system already hosts %d programs", s.cfg.Programs)
 	}
 	p := newProgram(s, name, idx)
-	s.progs = append(s.progs, p)
+	s.slots[idx] = p
 	p.start()
 	return p, nil
 }
 
+// detach frees p's slot once it has fully shut down.
+func (s *System) detach(p *Program) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.slots[p.idx] == p {
+		s.slots[p.idx] = nil
+	}
+}
+
 // Close shuts down every program of the system.
 func (s *System) Close() {
-	s.mu.Lock()
-	progs := append([]*Program(nil), s.progs...)
-	s.mu.Unlock()
-	for _, p := range progs {
+	for _, p := range s.Programs() {
 		p.Close()
 	}
 	if s.table != nil {

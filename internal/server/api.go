@@ -1,0 +1,121 @@
+package server
+
+import "dws/internal/rt"
+
+// This file is the wire schema of the dwsd HTTP API. The same types are
+// the machine-readable output schema of the CLIs (dwsrun -json), so
+// served-load results and command-line results can be compared directly.
+
+// JobRequest is the body of POST /v1/jobs: run one kernel from the
+// catalog (internal/kernels) on the submitting tenant's program.
+type JobRequest struct {
+	// Tenant names the submitting program; it is created on first use
+	// (subject to a free program slot).
+	Tenant string `json:"tenant"`
+	// Kernel is a catalog name (FFT, PNN, Cholesky, LU, GE, Heat, SOR,
+	// Mergesort), case-insensitive.
+	Kernel string `json:"kernel"`
+	// Size is the input scale (0 means the server default).
+	Size float64 `json:"size,omitempty"`
+	// DeadlineMS bounds queue wait + run time (0 means the server
+	// default). A job whose deadline expires while still queued is
+	// skipped, never started.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Stats mirrors rt.Stats as JSON — the scheduler counters of one program
+// over one job (deltas) or one CLI run (totals).
+type Stats struct {
+	Steals       int64 `json:"steals"`
+	FailedSteals int64 `json:"failed_steals"`
+	Sleeps       int64 `json:"sleeps"`
+	Wakes        int64 `json:"wakes"`
+	Evictions    int64 `json:"evictions"`
+	Claims       int64 `json:"claims"`
+	Reclaims     int64 `json:"reclaims"`
+	Runs         int64 `json:"runs"`
+}
+
+// FromRTStats converts runtime counters to the wire form.
+func FromRTStats(s rt.Stats) Stats {
+	return Stats{
+		Steals:       s.Steals,
+		FailedSteals: s.FailedSteals,
+		Sleeps:       s.Sleeps,
+		Wakes:        s.Wakes,
+		Evictions:    s.Evictions,
+		Claims:       s.Claims,
+		Reclaims:     s.Reclaims,
+		Runs:         s.Runs,
+	}
+}
+
+// Sub returns s - o counter-wise (per-job deltas from cumulative program
+// counters).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Steals:       s.Steals - o.Steals,
+		FailedSteals: s.FailedSteals - o.FailedSteals,
+		Sleeps:       s.Sleeps - o.Sleeps,
+		Wakes:        s.Wakes - o.Wakes,
+		Evictions:    s.Evictions - o.Evictions,
+		Claims:       s.Claims - o.Claims,
+		Reclaims:     s.Reclaims - o.Reclaims,
+		Runs:         s.Runs - o.Runs,
+	}
+}
+
+// Job statuses.
+const (
+	StatusOK       = "ok"       // ran to completion
+	StatusExpired  = "expired"  // deadline passed while queued; never started
+	StatusCanceled = "canceled" // client went away while queued; never started
+)
+
+// JobResult is the response of POST /v1/jobs and one record of
+// dwsrun -json output.
+type JobResult struct {
+	ID     uint64  `json:"id,omitempty"`
+	Tenant string  `json:"tenant,omitempty"`
+	Kernel string  `json:"kernel"`
+	Policy string  `json:"policy"`
+	Cores  int     `json:"cores"`
+	Size   float64 `json:"size"`
+	Status string  `json:"status"`
+	// QueueMS is time spent waiting in the tenant's admission queue;
+	// RunMS is input generation + execution; TotalMS is their sum.
+	QueueMS float64 `json:"queue_ms"`
+	RunMS   float64 `json:"run_ms"`
+	TotalMS float64 `json:"total_ms"`
+	// Stats are the program's scheduler-counter deltas over this job.
+	Stats Stats `json:"stats"`
+}
+
+// TenantInfo is one entry of GET /v1/tenants.
+type TenantInfo struct {
+	Name       string `json:"name"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	JobsServed int64  `json:"jobs_served"`
+	// CoresHeld is the tenant's current core allocation table share
+	// (DWS only; -1 when the policy has no table).
+	CoresHeld int   `json:"cores_held"`
+	Stats     Stats `json:"stats"`
+}
+
+// Info is the response of GET /v1/info — enough for a load generator to
+// label its report.
+type Info struct {
+	Policy      string   `json:"policy"`
+	Cores       int      `json:"cores"`
+	MaxTenants  int      `json:"max_tenants"`
+	FreeSlots   int      `json:"free_slots"`
+	QueueDepth  int      `json:"queue_depth"`
+	DefaultSize float64  `json:"default_size"`
+	Kernels     []string `json:"kernels"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

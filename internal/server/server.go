@@ -1,0 +1,416 @@
+// Package server implements dwsd's job service: a multi-tenant HTTP
+// front-end over one live rt.System. Each tenant maps to a co-running
+// rt.Program, so submitted jobs contend for cores exactly as the paper's
+// co-running programs do — under whichever policy (ABP/EP/DWS/DWS-NC) the
+// system was started with.
+//
+// Production-shaped plumbing:
+//
+//   - bounded per-tenant admission queues; a full queue rejects with
+//     429 and an honest Retry-After estimated from recent run times
+//   - per-job deadlines: a job whose deadline (or client) expires while
+//     queued is skipped, never started (running kernels are not
+//     preemptible — the deadline bounds admission, not execution)
+//   - graceful drain: Shutdown stops admission, serves what was already
+//     accepted, then closes every program
+//   - observability: /metrics (Prometheus text via internal/metrics) and
+//     /healthz
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dws/internal/kernels"
+	"dws/internal/metrics"
+	"dws/internal/rt"
+)
+
+// Config describes a job server.
+type Config struct {
+	// Cores and Policy configure the hosted rt.System.
+	Cores  int
+	Policy rt.Policy
+	// MaxTenants is the system's program-slot count m (tenants beyond it
+	// are rejected until one is deleted); ≤0 defaults to Cores.
+	MaxTenants int
+	// QueueDepth bounds each tenant's admission queue; ≤0 defaults to 16.
+	QueueDepth int
+	// DefaultDeadline applies to jobs that do not set deadline_ms;
+	// ≤0 defaults to 30s.
+	DefaultDeadline time.Duration
+	// DefaultSize and MaxSize bound the per-job input scale; they default
+	// to 0.25 and 1.0.
+	DefaultSize float64
+	MaxSize     float64
+}
+
+func (c *Config) validate() error {
+	if c.Cores <= 0 {
+		return errors.New("server: Cores must be positive")
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = c.Cores
+	}
+	if c.MaxTenants > c.Cores {
+		return fmt.Errorf("server: MaxTenants must be at most Cores (%d)", c.Cores)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.DefaultSize <= 0 {
+		c.DefaultSize = 0.25
+	}
+	if c.MaxSize <= 0 {
+		c.MaxSize = 1.0
+	}
+	return nil
+}
+
+var tenantNameRe = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// Server hosts the rt.System and its tenants behind an http.Handler.
+type Server struct {
+	cfg Config
+	sys *rt.System
+	reg *metrics.Registry
+	mux *http.ServeMux
+
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	draining bool
+
+	// instruments
+	mJobs      metrics.CounterVec // tenant, kernel, status
+	mRejected  metrics.CounterVec // tenant, reason
+	mLatency   metrics.HistogramVec
+	mQueueWait metrics.HistogramVec
+	mRunTime   metrics.HistogramVec
+}
+
+// New builds a server and its rt.System.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sys, err := rt.NewSystem(rt.Config{
+		Cores:    cfg.Cores,
+		Programs: cfg.MaxTenants,
+		Policy:   cfg.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		sys:     sys,
+		reg:     metrics.NewRegistry(),
+		mux:     http.NewServeMux(),
+		tenants: make(map[string]*tenant),
+	}
+	s.mJobs = s.reg.NewCounter("dws_jobs_total",
+		"Jobs by final status.", "tenant", "kernel", "status")
+	s.mRejected = s.reg.NewCounter("dws_jobs_rejected_total",
+		"Jobs rejected at admission.", "tenant", "reason")
+	s.mLatency = s.reg.NewHistogram("dws_job_latency_seconds",
+		"End-to-end job latency (queue wait + run).", nil, "tenant", "kernel")
+	s.mQueueWait = s.reg.NewHistogram("dws_job_queue_seconds",
+		"Time jobs spend in the admission queue.", nil, "tenant")
+	s.mRunTime = s.reg.NewHistogram("dws_job_run_seconds",
+		"Kernel run time (input generation + execution).", nil, "kernel")
+
+	// Scrape-time gauges: live queue depths, program counters, and the
+	// core allocation table.
+	qDepth := s.reg.NewGauge("dws_queue_depth", "Admission queue depth.", "tenant")
+	progGauges := map[string]func(Stats) int64{
+		"dws_program_steals":        func(st Stats) int64 { return st.Steals },
+		"dws_program_failed_steals": func(st Stats) int64 { return st.FailedSteals },
+		"dws_program_sleeps":        func(st Stats) int64 { return st.Sleeps },
+		"dws_program_wakes":         func(st Stats) int64 { return st.Wakes },
+		"dws_program_evictions":     func(st Stats) int64 { return st.Evictions },
+		"dws_program_claims":        func(st Stats) int64 { return st.Claims },
+		"dws_program_reclaims":      func(st Stats) int64 { return st.Reclaims },
+		"dws_program_runs":          func(st Stats) int64 { return st.Runs },
+	}
+	progVecs := make(map[string]metrics.GaugeVec, len(progGauges))
+	for name := range progGauges {
+		progVecs[name] = s.reg.NewGauge(name,
+			"Cumulative rt.Stats counter for the tenant's program.", "tenant")
+	}
+	coreOcc := s.reg.NewGauge("dws_core_occupant",
+		"Core allocation table: occupying program slot ID (0 = free); DWS only.", "core")
+	coresHeld := s.reg.NewGauge("dws_cores_held",
+		"Cores the tenant currently holds in the allocation table; DWS only.", "tenant")
+	freeSlots := s.reg.NewGauge("dws_free_tenant_slots",
+		"Program slots available for new tenants.")
+	s.reg.OnScrape(func() {
+		freeSlots.With().Set(float64(s.sys.FreeSlots()))
+		occ := s.sys.Occupants()
+		for c, id := range occ {
+			coreOcc.With(strconv.Itoa(c)).Set(float64(id))
+		}
+		s.mu.Lock()
+		ts := make([]*tenant, 0, len(s.tenants))
+		for _, t := range s.tenants {
+			ts = append(ts, t)
+		}
+		s.mu.Unlock()
+		for _, t := range ts {
+			qDepth.With(t.name).Set(float64(len(t.queue)))
+			st := FromRTStats(t.prog.Stats())
+			for name, get := range progGauges {
+				progVecs[name].With(t.name).Set(float64(get(st)))
+			}
+			if occ != nil {
+				held := 0
+				for _, id := range occ {
+					if int(id) == t.prog.Slot()+1 {
+						held++
+					}
+				}
+				coresHeld.With(t.name).Set(float64(held))
+			}
+		}
+	})
+
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
+	s.mux.HandleFunc("DELETE /v1/tenants/{name}", s.handleDeleteTenant)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// System exposes the hosted runtime (read-only use: stats, occupancy).
+func (s *Server) System() *rt.System { return s.sys }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmitJob admits one job into the tenant's queue and blocks until
+// it finishes (or its deadline expires while queued).
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if !tenantNameRe.MatchString(req.Tenant) {
+		writeError(w, http.StatusBadRequest,
+			"tenant must match %s", tenantNameRe)
+		return
+	}
+	spec, ok := kernels.ByName(req.Kernel)
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			"unknown kernel %q (have %v)", req.Kernel, kernels.Names())
+		return
+	}
+	size := req.Size
+	if size <= 0 {
+		size = s.cfg.DefaultSize
+	}
+	if size > s.cfg.MaxSize {
+		writeError(w, http.StatusBadRequest,
+			"size %v exceeds the server cap %v", size, s.cfg.MaxSize)
+		return
+	}
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	j := &job{
+		id:       s.nextID.Add(1),
+		req:      req,
+		spec:     spec,
+		size:     size,
+		ctx:      ctx,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.mRejected.With(req.Tenant, "draining").Inc()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	t, ok := s.tenants[req.Tenant]
+	if !ok {
+		prog, err := s.sys.NewProgram(req.Tenant)
+		if err != nil {
+			s.mu.Unlock()
+			s.mRejected.With(req.Tenant, "no_slot").Inc()
+			writeError(w, http.StatusServiceUnavailable,
+				"no free tenant slot (max %d): %v", s.cfg.MaxTenants, err)
+			return
+		}
+		t = newTenant(s, req.Tenant, prog)
+		s.tenants[req.Tenant] = t
+	}
+	admitted := false
+	select {
+	case t.queue <- j:
+		admitted = true
+	default:
+	}
+	s.mu.Unlock()
+
+	if !admitted {
+		s.mRejected.With(req.Tenant, "queue_full").Inc()
+		retry := t.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q admission queue is full (%d deep); retry in %v",
+			req.Tenant, cap(t.queue), retry)
+		return
+	}
+
+	select {
+	case <-j.done:
+		s.writeResult(w, j)
+	case <-ctx.Done():
+		// A result racing the deadline still wins.
+		select {
+		case <-j.done:
+			s.writeResult(w, j)
+		default:
+			// Still queued (or just started): the runner will observe the
+			// expired context for queued jobs; a job already running
+			// finishes in the background — kernels are not preemptible.
+			if ctx.Err() == context.DeadlineExceeded {
+				writeError(w, http.StatusGatewayTimeout,
+					"job %d missed its %v deadline", j.id, deadline)
+			}
+			// Client disconnect: nobody is reading the response.
+		}
+	}
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, j *job) {
+	code := http.StatusOK
+	switch j.res.Status {
+	case StatusExpired:
+		code = http.StatusGatewayTimeout
+	case StatusCanceled:
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, j.res)
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	infos := make([]TenantInfo, 0, len(ts))
+	for _, t := range ts {
+		infos = append(infos, t.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleDeleteTenant drains the tenant's queue, closes its program (the
+// freed slot becomes available to new tenants), and returns when done.
+func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	if ok {
+		delete(s.tenants, name)
+		close(t.queue)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown tenant %q", name)
+		return
+	}
+	<-t.exited
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Info{
+		Policy:      s.sys.Policy().String(),
+		Cores:       s.sys.Cores(),
+		MaxTenants:  s.cfg.MaxTenants,
+		FreeSlots:   s.sys.FreeSlots(),
+		QueueDepth:  s.cfg.QueueDepth,
+		DefaultSize: s.cfg.DefaultSize,
+		Kernels:     kernels.Names(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// Shutdown gracefully drains the server: admission stops (healthz flips
+// to 503, new jobs are rejected), every queued job is still served, and
+// the programs and system are closed. It returns early with ctx's error
+// if the drain outlives ctx; queued work then keeps draining in the
+// background, but the system is not closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already draining")
+	}
+	s.draining = true
+	ts := make([]*tenant, 0, len(s.tenants))
+	for name, t := range s.tenants {
+		delete(s.tenants, name)
+		close(t.queue)
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+
+	for _, t := range ts {
+		select {
+		case <-t.exited:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.sys.Close()
+	return nil
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"dws/internal/kernels"
+	"dws/internal/rt"
+)
+
+// job is one admitted request travelling from the HTTP handler through a
+// tenant's queue to its runner goroutine.
+type job struct {
+	id       uint64
+	req      JobRequest
+	spec     kernels.Spec
+	size     float64
+	ctx      context.Context
+	enqueued time.Time
+
+	// res is written by the runner before done is closed.
+	res  JobResult
+	done chan struct{}
+}
+
+// tenant is one co-running program plus its bounded admission queue and
+// the single runner goroutine that feeds jobs to the program serially.
+type tenant struct {
+	name string
+	srv  *Server
+	prog *rt.Program
+
+	// queue is the bounded admission queue. Sends happen only under
+	// Server.mu (so close() cannot race a send); the runner is the sole
+	// receiver.
+	queue chan *job
+
+	jobsServed atomic.Int64
+	// runEWMANanos tracks an exponentially weighted moving average of run
+	// time, used to compute honest Retry-After hints under backpressure.
+	runEWMANanos atomic.Int64
+
+	exited chan struct{} // closed when the runner has drained and stopped
+}
+
+func newTenant(s *Server, name string, prog *rt.Program) *tenant {
+	t := &tenant{
+		name:   name,
+		srv:    s,
+		prog:   prog,
+		queue:  make(chan *job, s.cfg.QueueDepth),
+		exited: make(chan struct{}),
+	}
+	go t.run()
+	return t
+}
+
+// run drains the queue until it is closed (tenant deletion or server
+// drain), then closes the program. Queued jobs admitted before the close
+// are still served — graceful drain.
+func (t *tenant) run() {
+	for j := range t.queue {
+		t.serve(j)
+	}
+	t.prog.Close()
+	close(t.exited)
+}
+
+// serve executes one job on the tenant's program and records the result.
+func (t *tenant) serve(j *job) {
+	queueWait := time.Since(j.enqueued)
+	s := t.srv
+	if err := j.ctx.Err(); err != nil {
+		// The deadline passed (or the client went away) while the job was
+		// queued: skip it — the work would be wasted.
+		status := StatusCanceled
+		if err == context.DeadlineExceeded {
+			status = StatusExpired
+		}
+		j.res = JobResult{
+			ID: j.id, Tenant: t.name, Kernel: j.spec.Name,
+			Policy: s.sys.Policy().String(), Cores: s.sys.Cores(), Size: j.size,
+			Status:  status,
+			QueueMS: ms(queueWait), TotalMS: ms(queueWait),
+		}
+		s.mJobs.With(t.name, j.spec.Name, status).Inc()
+		s.mQueueWait.With(t.name).Observe(queueWait.Seconds())
+		close(j.done)
+		return
+	}
+
+	before := FromRTStats(t.prog.Stats())
+	start := time.Now()
+	err := t.prog.Run(j.spec.NewTask(j.size))
+	runDur := time.Since(start)
+	status := StatusOK
+	if err != nil {
+		// Only ErrClosed can surface here, and only on shutdown races.
+		status = StatusCanceled
+	}
+	j.res = JobResult{
+		ID: j.id, Tenant: t.name, Kernel: j.spec.Name,
+		Policy: s.sys.Policy().String(), Cores: s.sys.Cores(), Size: j.size,
+		Status:  status,
+		QueueMS: ms(queueWait), RunMS: ms(runDur), TotalMS: ms(queueWait + runDur),
+		Stats: FromRTStats(t.prog.Stats()).Sub(before),
+	}
+	t.jobsServed.Add(1)
+	t.observeRun(runDur)
+	s.mJobs.With(t.name, j.spec.Name, status).Inc()
+	s.mQueueWait.With(t.name).Observe(queueWait.Seconds())
+	s.mRunTime.With(j.spec.Name).Observe(runDur.Seconds())
+	s.mLatency.With(t.name, j.spec.Name).Observe((queueWait + runDur).Seconds())
+	close(j.done)
+}
+
+// observeRun folds one run duration into the EWMA (α = 1/4).
+func (t *tenant) observeRun(d time.Duration) {
+	prev := t.runEWMANanos.Load()
+	if prev == 0 {
+		t.runEWMANanos.Store(int64(d))
+		return
+	}
+	t.runEWMANanos.Store(prev + (int64(d)-prev)/4)
+}
+
+// retryAfter estimates how long until the tenant's full queue has room:
+// roughly half a queue's worth of average runs, at least one second (the
+// Retry-After header has one-second resolution).
+func (t *tenant) retryAfter() time.Duration {
+	ewma := time.Duration(t.runEWMANanos.Load())
+	est := time.Duration(len(t.queue)/2+1) * ewma
+	if est < time.Second {
+		return time.Second
+	}
+	return time.Duration(math.Ceil(est.Seconds())) * time.Second
+}
+
+// info snapshots the tenant for GET /v1/tenants.
+func (t *tenant) info() TenantInfo {
+	held := -1
+	if occ := t.srv.sys.Occupants(); occ != nil {
+		held = 0
+		for _, id := range occ {
+			if int(id) == t.prog.Slot()+1 {
+				held++
+			}
+		}
+	}
+	return TenantInfo{
+		Name:       t.name,
+		QueueDepth: len(t.queue),
+		QueueCap:   cap(t.queue),
+		JobsServed: t.jobsServed.Load(),
+		CoresHeld:  held,
+		Stats:      FromRTStats(t.prog.Stats()),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -207,3 +207,34 @@ func TestPropertyJainIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqRel(got, c.want) {
+			t.Errorf("Percentile(xs, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("Percentile(single, 99) = %v, want 7", got)
+	}
+	// Input must not be mutated (callers keep live latency slices).
+	if xs[0] != 5 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestPercentileOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("percentile outside [0, 100] accepted")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
