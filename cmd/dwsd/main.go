@@ -44,6 +44,8 @@ func main() {
 		defSize  = flag.Float64("default-size", 0.25, "default job input scale")
 		maxSize  = flag.Float64("max-size", 1.0, "maximum job input scale")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		period   = flag.Duration("period", 0, "coordinator period T (0 = rt default, 10ms)")
+		leaseTTL = flag.Duration("lease-ttl", 0, "core-table lease expiry for wedged-tenant eviction (0 = 10×period)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,8 @@ func main() {
 		DefaultDeadline: *deadline,
 		DefaultSize:     *defSize,
 		MaxSize:         *maxSize,
+		CoordPeriod:     *period,
+		LeaseTTL:        *leaseTTL,
 	})
 	if err != nil {
 		log.Fatalf("dwsd: %v", err)

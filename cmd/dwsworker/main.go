@@ -1,0 +1,49 @@
+//go:build linux || darwin
+
+// Command dwsworker runs ONE paper-style work-stealing program as a
+// standalone OS process. It joins a named mmap-backed core allocation
+// table file as program -index of -programs (the §3.4 deployment: the
+// first launcher creates the file, later launchers map the same file) and
+// runs a catalog kernel back to back, emitting one JSON line per run.
+//
+// Its coordinator heartbeats a per-program lease in the shared table and
+// sweeps expired leases of co-runners, so if a sibling dwsworker dies
+// without releasing its cores (kill -9, OOM), this process frees them.
+//
+// Example — three cooperating programs on one 8-core table:
+//
+//	dwsworker -table /tmp/dws.table -cores 8 -programs 3 -index 0 -kernel FFT &
+//	dwsworker -table /tmp/dws.table -cores 8 -programs 3 -index 1 -kernel Mergesort &
+//	dwsworker -table /tmp/dws.table -cores 8 -programs 3 -index 2 -kernel SOR &
+//
+// SIGTERM/SIGINT exits cleanly (cores released, lease dropped). See
+// cmd/dwsmp for a launcher that spawns m workers and demonstrates
+// crash recovery by SIGKILLing one.
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"dws/internal/mproc"
+)
+
+func main() {
+	var cfg mproc.WorkerConfig
+	flag.StringVar(&cfg.TablePath, "table", "", "shared core allocation table file (required)")
+	flag.IntVar(&cfg.Cores, "cores", 8, "core slots k (all co-runners must agree; sets GOMAXPROCS)")
+	flag.IntVar(&cfg.Programs, "programs", 2, "co-running programs m")
+	flag.IntVar(&cfg.Index, "index", 0, "this program's slot in [0, programs)")
+	flag.StringVar(&cfg.Kernel, "kernel", "Mergesort", "catalog kernel to run")
+	flag.Float64Var(&cfg.Size, "size", 0.25, "kernel input scale")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to run")
+	flag.DurationVar(&cfg.CoordPeriod, "period", 0, "coordinator period T (0 = default 10ms)")
+	flag.DurationVar(&cfg.LeaseTTL, "ttl", 0, "lease expiry for crash recovery (0 = 10×period)")
+	flag.IntVar(&cfg.TSleep, "tsleep", 0, "T_SLEEP failed steals before a worker sleeps (0 = cores)")
+	flag.Parse()
+
+	if err := mproc.RunWorker(cfg); err != nil {
+		log.Fatalf("dwsworker: %v", err)
+	}
+}

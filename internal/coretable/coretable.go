@@ -22,17 +22,31 @@ package coretable
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Free marks an unoccupied core.
 const Free int32 = 0
 
+// nowNanos is the lease clock (wall clock, so independently launched
+// processes agree on it). Tests may substitute a fake.
+var nowNanos = func() int64 { return time.Now().UnixNano() }
+
 // Table is a core allocation table over k cores. All methods are safe for
 // concurrent use by multiple programs' workers and coordinators.
+//
+// Alongside the occupancy entries the table keeps one lease slot per
+// program ID in [1, k]: a generation counter (epoch, bumped on every
+// Join) and the wall-clock nanosecond timestamp of the program's last
+// heartbeat (0 = no live lease). A program that dies without releasing
+// its cores stops beating; any survivor's SweepExpired then frees the
+// dead program's cores so co-runners are not starved forever.
 type Table struct {
 	k      int
 	occ    []atomic.Int32 // occupant program ID per core, Free if none
 	evict  []atomic.Int32 // 1 while an eviction of the occupant is pending
+	epoch  []atomic.Int64 // per-program join generation
+	beat   []atomic.Int64 // per-program last-heartbeat UnixNano, 0 = none
 	closer func() error   // non-nil for file-backed tables
 }
 
@@ -45,6 +59,8 @@ func NewMem(k int) *Table {
 		k:     k,
 		occ:   make([]atomic.Int32, k),
 		evict: make([]atomic.Int32, k),
+		epoch: make([]atomic.Int64, k),
+		beat:  make([]atomic.Int64, k),
 	}
 }
 
@@ -121,6 +137,111 @@ func (t *Table) EvictionPending(core int) bool {
 func (t *Table) AckEviction(core int) {
 	t.check(core)
 	t.evict[core].Store(0)
+}
+
+// checkLeasePID verifies pid has a lease slot (lease slots cover program
+// IDs 1..k; occupancy entries accept any positive pid, but only programs
+// with a lease slot participate in the heartbeat protocol).
+func (t *Table) checkLeasePID(pid int32) {
+	checkPID(pid)
+	if int(pid) > t.k {
+		panic(fmt.Sprintf("coretable: program id %d has no lease slot (max %d)", pid, t.k))
+	}
+}
+
+// Join starts (or restarts) pid's lease: it stamps the heartbeat with the
+// current time and bumps the program's epoch. It returns the new epoch.
+// The beat is stored before the epoch so a concurrent sweeper can never
+// mistake a freshly joined program for the dead generation it replaces
+// (SweepExpired claims a sweep by CASing the stale beat, which fails once
+// the new beat is in place).
+func (t *Table) Join(pid int32) int64 {
+	t.checkLeasePID(pid)
+	t.beat[pid-1].Store(nowNanos())
+	return t.epoch[pid-1].Add(1)
+}
+
+// Beat refreshes pid's heartbeat. Coordinators call this every period.
+func (t *Table) Beat(pid int32) {
+	t.checkLeasePID(pid)
+	t.beat[pid-1].Store(nowNanos())
+}
+
+// Leave ends pid's lease cleanly (program exit after releasing its
+// cores); the slot is no longer considered live and is never swept.
+func (t *Table) Leave(pid int32) {
+	t.checkLeasePID(pid)
+	t.beat[pid-1].Store(0)
+}
+
+// LeaseEpoch returns pid's join generation (0 = never joined).
+func (t *Table) LeaseEpoch(pid int32) int64 {
+	t.checkLeasePID(pid)
+	return t.epoch[pid-1].Load()
+}
+
+// LeaseBeat returns the UnixNano timestamp of pid's last heartbeat, or 0
+// if pid holds no live lease.
+func (t *Table) LeaseBeat(pid int32) int64 {
+	t.checkLeasePID(pid)
+	return t.beat[pid-1].Load()
+}
+
+// Expired describes one dead program found by SweepExpired.
+type Expired struct {
+	// PID is the dead program's table ID.
+	PID int32
+	// Epoch is the generation that died.
+	Epoch int64
+	// Cores is how many cores the sweep freed for the dead program.
+	Cores int
+}
+
+// SweepExpired scans the lease slots for programs whose heartbeat is
+// older than ttl and frees every core they still occupy via the CAS
+// protocol, so surviving programs can claim them. self (0 = none) is the
+// caller's own program ID and is skipped.
+//
+// Exactly one concurrent sweeper wins each dead program: the sweep is
+// claimed by CASing the stale beat to 0, so double-counting (and double
+// handler invocation upstream) cannot happen. A program that re-Joins
+// concurrently stores a fresh beat first, which makes the claim CAS fail
+// and protects the new generation's cores.
+func (t *Table) SweepExpired(self int32, ttl time.Duration) []Expired {
+	if ttl <= 0 {
+		panic(fmt.Sprintf("coretable: non-positive lease ttl %v", ttl))
+	}
+	now := nowNanos()
+	var dead []Expired
+	for i := 0; i < t.k; i++ {
+		pid := int32(i + 1)
+		if pid == self {
+			continue
+		}
+		b := t.beat[i].Load()
+		if b == 0 || now-b <= int64(ttl) {
+			continue
+		}
+		if !t.beat[i].CompareAndSwap(b, 0) {
+			continue // another sweeper (or a rejoin) got here first
+		}
+		e := Expired{PID: pid, Epoch: t.epoch[i].Load()}
+		for c := 0; c < t.k; c++ {
+			if t.occ[c].Load() != pid {
+				continue
+			}
+			// Clear the eviction flag while the dead program is still the
+			// occupant: the flag targets the (dead) occupant, so nobody can
+			// miss it, and a freed core must not start life with a stale
+			// pending eviction.
+			t.evict[c].Store(0)
+			if t.occ[c].CompareAndSwap(pid, Free) {
+				e.Cores++
+			}
+		}
+		dead = append(dead, e)
+	}
+	return dead
 }
 
 // Snapshot copies the occupancy array. It is a racy snapshot under
@@ -218,10 +339,13 @@ func (t *Table) InstallHome(home []int, pid int32) {
 	}
 }
 
-// Reset frees every core and clears all eviction flags.
+// Reset frees every core, clears all eviction flags, and drops every
+// lease (epochs are preserved — they count generations for the table's
+// lifetime).
 func (t *Table) Reset() {
 	for i := 0; i < t.k; i++ {
 		t.occ[i].Store(Free)
 		t.evict[i].Store(0)
+		t.beat[i].Store(0)
 	}
 }

@@ -1,0 +1,204 @@
+//go:build linux || darwin
+
+package coretable
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Differential battery: the in-memory and the mmap-file backing implement
+// one protocol, so the same op schedule must behave identically. The
+// serial test asserts bit-for-bit identical observable state after every
+// op; the concurrent test drives both backings with the same randomized
+// N-goroutine schedule and asserts the protocol invariants that survive
+// nondeterministic interleaving.
+
+// openBoth returns a fresh pair (mem, file) of k-core tables.
+func openBoth(t *testing.T, k int) (*Table, *Table) {
+	t.Helper()
+	mem := NewMem(k)
+	file, err := OpenFile(filepath.Join(t.TempDir(), "dws.table"), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { file.Close() })
+	return mem, file
+}
+
+// TestDifferentialMemFileSerial replays one randomized schedule of every
+// table op — claims, releases, reclaims, eviction acks, lease joins,
+// beats, leaves, and sweeps under a fake clock — against both backings
+// and requires identical observable state after every single op.
+func TestDifferentialMemFileSerial(t *testing.T) {
+	now := fakeClock(t)
+	const k, ops = 6, 4000
+	mem, file := openBoth(t, k)
+	rng := rand.New(rand.NewSource(42))
+
+	check := func(op int, what string, a, b any) {
+		if a != b {
+			t.Fatalf("op %d: %s diverged: mem=%v file=%v", op, what, a, b)
+		}
+	}
+	for i := 0; i < ops; i++ {
+		core := rng.Intn(k)
+		pid := int32(rng.Intn(k) + 1)
+		other := int32(rng.Intn(k) + 1)
+		switch rng.Intn(9) {
+		case 0:
+			check(i, "ClaimFree", mem.ClaimFree(core, pid), file.ClaimFree(core, pid))
+		case 1:
+			check(i, "Release", mem.Release(core, pid), file.Release(core, pid))
+		case 2:
+			if pid != other {
+				check(i, "Reclaim", mem.Reclaim(core, pid, other), file.Reclaim(core, pid, other))
+			}
+		case 3:
+			mem.AckEviction(core)
+			file.AckEviction(core)
+		case 4:
+			check(i, "Join", mem.Join(pid), file.Join(pid))
+		case 5:
+			mem.Beat(pid)
+			file.Beat(pid)
+		case 6:
+			mem.Leave(pid)
+			file.Leave(pid)
+		case 7:
+			*now += int64(time.Duration(rng.Intn(80)) * time.Millisecond)
+		case 8:
+			a := mem.SweepExpired(pid, ttl)
+			b := file.SweepExpired(pid, ttl)
+			check(i, "SweepExpired len", len(a), len(b))
+			for j := range a {
+				check(i, "SweepExpired entry", a[j], b[j])
+			}
+		}
+		// Full observable-state comparison after every op.
+		for c := 0; c < k; c++ {
+			check(i, fmt.Sprintf("Occupant(%d)", c), mem.Occupant(c), file.Occupant(c))
+			check(i, fmt.Sprintf("EvictionPending(%d)", c), mem.EvictionPending(c), file.EvictionPending(c))
+		}
+		for p := int32(1); p <= k; p++ {
+			check(i, fmt.Sprintf("LeaseEpoch(%d)", p), mem.LeaseEpoch(p), file.LeaseEpoch(p))
+			check(i, fmt.Sprintf("LeaseBeat(%d)", p), mem.LeaseBeat(p), file.LeaseBeat(p))
+		}
+	}
+}
+
+// TestDifferentialConcurrent drives each backing with the same randomized
+// concurrent schedule — N goroutines doing claim/release/reclaim/
+// snapshot/beat — and asserts the invariants that hold regardless of
+// interleaving:
+//
+//   - a core is never double-occupied: per-core successful claims minus
+//     successful releases is always 0 or 1, and matches final occupancy
+//   - reclaims only transfer occupied cores (they never free or conjure)
+//   - snapshots only ever observe Free or a live program ID
+//   - after every program quiesces and releases, the table is empty
+func TestDifferentialConcurrent(t *testing.T) {
+	const k, goroutines, opsPer = 8, 6, 3000
+	for _, backing := range []string{"mem", "file"} {
+		t.Run(backing, func(t *testing.T) {
+			mem, file := openBoth(t, k)
+			tb := mem
+			if backing == "file" {
+				tb = file
+			}
+
+			var claims, releases [k]atomic.Int64
+			var reclaims atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(pid int32) {
+					defer wg.Done()
+					// Same per-goroutine schedule for both backings: the
+					// seed depends only on the goroutine, not the backing.
+					rng := rand.New(rand.NewSource(int64(pid) * 1009))
+					tb.Join(pid)
+					held := make(map[int]bool)
+					for i := 0; i < opsPer; i++ {
+						core := rng.Intn(k)
+						switch rng.Intn(5) {
+						case 0, 1: // claim
+							if tb.ClaimFree(core, pid) {
+								claims[core].Add(1)
+								held[core] = true
+							}
+						case 2: // release something we believe we hold
+							if held[core] {
+								if tb.Release(core, pid) {
+									releases[core].Add(1)
+								}
+								// Whether or not the release won (we may have
+								// been reclaimed away), we no longer hold it.
+								delete(held, core)
+							}
+						case 3: // reclaim from the observed occupant
+							occ := tb.Occupant(core)
+							if occ != Free && occ != pid {
+								if tb.Reclaim(core, pid, occ) {
+									reclaims.Add(1)
+									held[core] = true
+								}
+							}
+						case 4: // snapshot sanity + heartbeat
+							for c, id := range tb.Snapshot() {
+								if id != Free && (id < 1 || id > goroutines) {
+									t.Errorf("snapshot core %d: impossible occupant %d", c, id)
+									return
+								}
+							}
+							tb.Beat(pid)
+						}
+					}
+					// Quiesce: give every core we might hold back. Release
+					// covers both claimed and reclaimed holdings; count the
+					// reclaim-acquired ones as claims for the ledger.
+					for c := 0; c < k; c++ {
+						if tb.Release(c, pid) {
+							releases[c].Add(1)
+						}
+					}
+					tb.Leave(pid)
+				}(int32(g + 1))
+			}
+			wg.Wait()
+
+			// Ledger: a core's occupancy episode starts with exactly one
+			// successful ClaimFree (Free→occupied) and ends with exactly one
+			// successful Release (occupied→Free); reclaims are occupancy-
+			// neutral transfers within an episode. The table ended empty, so
+			// per core — and hence in total — successful claims must equal
+			// successful releases. Any imbalance means a core was double-
+			// occupied or freed twice somewhere in the interleaving.
+			for c := 0; c < k; c++ {
+				if occ := tb.Occupant(c); occ != Free {
+					t.Errorf("core %d still occupied by %d after quiescence", c, occ)
+				}
+				if cl, rl := claims[c].Load(), releases[c].Load(); cl != rl {
+					t.Errorf("core %d ledger imbalance: %d claims, %d releases", c, cl, rl)
+				}
+			}
+			if reclaims.Load() == 0 {
+				t.Log("schedule exercised no successful reclaims (unusual but legal)")
+			}
+			// No lease survives a clean Leave; a sweep finds nothing.
+			for p := int32(1); p <= goroutines; p++ {
+				if b := tb.LeaseBeat(p); b != 0 {
+					t.Errorf("pid %d left a live lease (beat %d)", p, b)
+				}
+			}
+			if dead := tb.SweepExpired(0, time.Nanosecond); len(dead) != 0 {
+				t.Errorf("sweep after clean exit found %+v", dead)
+			}
+		})
+	}
+}

@@ -23,13 +23,24 @@ import (
 //	[3]   reserved
 //	[4..4+k)    occupancy entries
 //	[4+k..4+2k) eviction flags
+//	(pad to an 8-byte boundary)
+//	k int64 lease epochs, then k int64 last-beat UnixNano stamps
+//
+// Version 2 added the lease records; version-1 files are rejected (the
+// table file is ephemeral — delete it and let the first launcher recreate
+// it).
 const (
 	fileMagic   = 0x44575354 // "DWST"
-	fileVersion = 1
+	fileVersion = 2
 	headerSlots = 4
 )
 
-func fileSize(k int) int { return 4 * (headerSlots + 2*k) }
+// leaseOff is the byte offset of the lease area: the int32 region rounded
+// up to 8-byte alignment so the int64 lease slots are atomically
+// addressable on every supported architecture.
+func leaseOff(k int) int { return (4*(headerSlots+2*k) + 7) &^ 7 }
+
+func fileSize(k int) int { return leaseOff(k) + 16*k }
 
 // OpenFile creates or opens a file-backed core allocation table for k
 // cores at path and maps it into memory. Multiple processes opening the
@@ -88,25 +99,37 @@ func OpenFile(path string, k int) (*Table, error) {
 
 	slots := unsafe.Slice((*int32)(unsafe.Pointer(&data[0])), headerSlots+2*k)
 	if !fresh {
-		if uint32(slots[0]) != fileMagic {
+		// Copy header values out of the mapping before any Munmap: the
+		// error formatting below must not touch unmapped memory.
+		magic, version, gotK := uint32(slots[0]), slots[1], slots[2]
+		if magic != fileMagic {
 			_ = syscall.Munmap(data)
-			return nil, fmt.Errorf("coretable: %s: bad magic %#x", path, slots[0])
+			return nil, fmt.Errorf("coretable: %s: bad magic %#x", path, magic)
 		}
-		if slots[2] != int32(k) {
+		if version != fileVersion {
+			_ = syscall.Munmap(data)
+			return nil, fmt.Errorf("coretable: %s is layout version %d, want %d (stale file?)",
+				path, version, fileVersion)
+		}
+		if gotK != int32(k) {
 			_ = syscall.Munmap(data)
 			return nil, fmt.Errorf("coretable: %s created for k=%d, want k=%d",
-				path, slots[2], k)
+				path, gotK, k)
 		}
 	}
 
 	// Reinterpret the mapped int32 slots as atomic values. atomic.Int32 is
 	// a 4-byte struct wrapping an int32; the mapping is page-aligned and
 	// every slot is 4-byte aligned, so this is valid on all supported
-	// architectures.
+	// architectures. The lease area holds atomic.Int64 pairs and starts at
+	// an 8-byte-aligned offset (leaseOff).
+	leases := unsafe.Slice((*atomic.Int64)(unsafe.Pointer(&data[leaseOff(k)])), 2*k)
 	t := &Table{
 		k:     k,
 		occ:   unsafe.Slice((*atomic.Int32)(unsafe.Pointer(&slots[headerSlots])), k),
 		evict: unsafe.Slice((*atomic.Int32)(unsafe.Pointer(&slots[headerSlots+k])), k),
+		epoch: leases[:k],
+		beat:  leases[k:],
 		closer: func() error {
 			return syscall.Munmap(data)
 		},

@@ -3,9 +3,12 @@
 package coretable
 
 import (
+	"encoding/binary"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestFileTableBasics(t *testing.T) {
@@ -64,6 +67,61 @@ func TestFileTableKMismatch(t *testing.T) {
 	defer a.Close()
 	if _, err := OpenFile(path, 8); err == nil {
 		t.Fatal("opening with mismatched k succeeded")
+	}
+}
+
+// TestFileTableLeaseShared checks that leases — like occupancy — live in
+// the shared mapping: a program's Join/Beat through one mapping is
+// visible through the other, and a survivor's sweep through its own
+// mapping frees cores the dead program claimed through the first.
+func TestFileTableLeaseShared(t *testing.T) {
+	now := fakeClock(t)
+	path := filepath.Join(t.TempDir(), "dws.table")
+	a, err := OpenFile(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenFile(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if ep := a.Join(1); ep != 1 {
+		t.Fatalf("epoch = %d", ep)
+	}
+	a.ClaimFree(0, 1)
+	a.ClaimFree(1, 1)
+	if got := b.LeaseBeat(1); got != *now {
+		t.Fatalf("mapping b sees beat %d, want %d", got, *now)
+	}
+	if got := b.LeaseEpoch(1); got != 1 {
+		t.Fatalf("mapping b sees epoch %d, want 1", got)
+	}
+	*now += 10 * int64(100*time.Millisecond)
+	dead := b.SweepExpired(2, 100*time.Millisecond)
+	if len(dead) != 1 || dead[0].PID != 1 || dead[0].Cores != 2 {
+		t.Fatalf("sweep through mapping b = %+v", dead)
+	}
+	if a.Occupant(0) != Free || a.Occupant(1) != Free {
+		t.Fatal("freed cores not visible through mapping a")
+	}
+}
+
+// TestFileTableVersionMismatch rejects a file with the right size but a
+// stale layout version (pre-lease files must not be silently reused).
+func TestFileTableVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dws.table")
+	buf := make([]byte, fileSize(4))
+	binary.LittleEndian.PutUint32(buf[0:], fileMagic)
+	binary.LittleEndian.PutUint32(buf[4:], 1) // version 1: no lease area
+	binary.LittleEndian.PutUint32(buf[8:], 4)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, 4); err == nil {
+		t.Fatal("stale layout version accepted")
 	}
 }
 

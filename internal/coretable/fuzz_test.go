@@ -1,22 +1,33 @@
 package coretable
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
-// FuzzProtocol drives the table with arbitrary claim/release/reclaim
-// sequences and checks it against a trivial map model (differential
-// fuzzing of the CAS protocol).
+// FuzzProtocol drives the table with arbitrary claim/release/reclaim/
+// lease sequences and checks it against a trivial map model (differential
+// fuzzing of the CAS protocol and the heartbeat-lease layer on top).
 func FuzzProtocol(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
 	f.Add([]byte{0, 0, 1, 1, 2, 2})
 	f.Add([]byte{10, 20, 30, 40, 50})
+	// Lease-heavy seeds: join, claim, advance clock, sweep.
+	f.Add([]byte{4, 0, 1, 0, 0, 1, 7, 0, 9, 7, 0, 9, 6, 0, 2})
+	f.Add([]byte{4, 0, 0, 4, 0, 1, 5, 0, 0, 7, 0, 3, 6, 0, 1})
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		const k, maxPID = 4, 3
+		const fuzzTTL = 50 * time.Millisecond
+		now := fakeClock(t)
 		tb := NewMem(k)
 		model := make([]int32, k)
 		evict := make([]bool, k)
+		// Lease model: per-pid epoch and last beat (0 = no lease).
+		mEpoch := make([]int64, maxPID+1)
+		mBeat := make([]int64, maxPID+1)
 
 		for i := 0; i+2 < len(ops); i += 3 {
-			op := ops[i] % 4
+			op := ops[i] % 8
 			core := int(ops[i+1]) % k
 			pid := int32(ops[i+2])%maxPID + 1
 			other := pid%maxPID + 1
@@ -50,6 +61,41 @@ func FuzzProtocol(f *testing.F) {
 			case 3: // ack eviction
 				tb.AckEviction(core)
 				evict[core] = false
+			case 4: // lease join
+				mEpoch[pid]++
+				mBeat[pid] = *now
+				if got := tb.Join(pid); got != mEpoch[pid] {
+					t.Fatalf("op %d: Join epoch %d, model %d", i, got, mEpoch[pid])
+				}
+			case 5: // heartbeat
+				tb.Beat(pid)
+				mBeat[pid] = *now
+			case 6: // clean leave
+				tb.Leave(pid)
+				mBeat[pid] = 0
+			case 7: // advance clock and sweep as pid
+				*now += int64(ops[i+1]) * int64(10*time.Millisecond)
+				dead := tb.SweepExpired(pid, fuzzTTL)
+				// Model: every other pid with a live-but-stale beat expires;
+				// its cores free and its beat clears.
+				wantDead := 0
+				for p := int32(1); p <= maxPID; p++ {
+					if p == pid || mBeat[p] == 0 || *now-mBeat[p] <= int64(fuzzTTL) {
+						continue
+					}
+					wantDead++
+					mBeat[p] = 0
+					for c := 0; c < k; c++ {
+						if model[c] == p {
+							model[c] = 0
+							evict[c] = false
+						}
+					}
+				}
+				if len(dead) != wantDead {
+					t.Fatalf("op %d: sweep found %d dead, model %d (%+v)",
+						i, len(dead), wantDead, dead)
+				}
 			}
 			// Full-state comparison after every op.
 			for c := 0; c < k; c++ {
@@ -60,6 +106,16 @@ func FuzzProtocol(f *testing.F) {
 				if tb.EvictionPending(c) != evict[c] {
 					t.Fatalf("op %d: core %d eviction %v, model %v",
 						i, c, tb.EvictionPending(c), evict[c])
+				}
+			}
+			for p := int32(1); p <= maxPID; p++ {
+				if tb.LeaseEpoch(p) != mEpoch[p] {
+					t.Fatalf("op %d: pid %d epoch %d, model %d",
+						i, p, tb.LeaseEpoch(p), mEpoch[p])
+				}
+				if tb.LeaseBeat(p) != mBeat[p] {
+					t.Fatalf("op %d: pid %d beat %d, model %d",
+						i, p, tb.LeaseBeat(p), mBeat[p])
 				}
 			}
 		}

@@ -1,0 +1,215 @@
+package coretable
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock substitutes a deterministic lease clock for the duration of a
+// test.
+func fakeClock(t *testing.T) *int64 {
+	t.Helper()
+	now := int64(1_000_000_000)
+	orig := nowNanos
+	nowNanos = func() int64 { return now }
+	t.Cleanup(func() { nowNanos = orig })
+	return &now
+}
+
+const ttl = 100 * time.Millisecond
+
+func TestLeaseJoinBeatLeave(t *testing.T) {
+	now := fakeClock(t)
+	tb := NewMem(4)
+
+	if got := tb.LeaseBeat(2); got != 0 {
+		t.Fatalf("beat before join = %d", got)
+	}
+	if ep := tb.Join(2); ep != 1 {
+		t.Fatalf("first Join epoch = %d, want 1", ep)
+	}
+	if got := tb.LeaseBeat(2); got != *now {
+		t.Fatalf("beat after join = %d, want %d", got, *now)
+	}
+	*now += int64(time.Second)
+	tb.Beat(2)
+	if got := tb.LeaseBeat(2); got != *now {
+		t.Fatalf("beat not refreshed: %d, want %d", got, *now)
+	}
+	tb.Leave(2)
+	if got := tb.LeaseBeat(2); got != 0 {
+		t.Fatalf("beat after leave = %d, want 0", got)
+	}
+	// Rejoin bumps the generation.
+	if ep := tb.Join(2); ep != 2 {
+		t.Fatalf("second Join epoch = %d, want 2", ep)
+	}
+	if got := tb.LeaseEpoch(2); got != 2 {
+		t.Fatalf("LeaseEpoch = %d, want 2", got)
+	}
+}
+
+func TestSweepExpiredFreesDeadCores(t *testing.T) {
+	now := fakeClock(t)
+	tb := NewMem(8)
+
+	// Program 1 joins and takes three cores, then dies (stops beating).
+	tb.Join(1)
+	for _, c := range []int{0, 1, 2} {
+		if !tb.ClaimFree(c, 1) {
+			t.Fatalf("claim %d failed", c)
+		}
+	}
+	// Program 2 stays alive on core 7.
+	tb.Join(2)
+	tb.ClaimFree(7, 2)
+
+	// Within the TTL nothing is swept.
+	*now += int64(ttl / 2)
+	if dead := tb.SweepExpired(2, ttl); len(dead) != 0 {
+		t.Fatalf("premature sweep: %+v", dead)
+	}
+
+	// Program 2 keeps beating; program 1 does not. Past the TTL the
+	// survivor's sweep frees exactly program 1's cores.
+	tb.Beat(2)
+	*now += int64(ttl)
+	dead := tb.SweepExpired(2, ttl)
+	if len(dead) != 1 || dead[0].PID != 1 || dead[0].Cores != 3 || dead[0].Epoch != 1 {
+		t.Fatalf("sweep = %+v, want pid 1 / 3 cores / epoch 1", dead)
+	}
+	for _, c := range []int{0, 1, 2} {
+		if tb.Occupant(c) != Free {
+			t.Fatalf("core %d not freed: occupant %d", c, tb.Occupant(c))
+		}
+	}
+	if tb.Occupant(7) != 2 {
+		t.Fatal("sweep touched the live program's core")
+	}
+	if tb.LeaseBeat(1) != 0 {
+		t.Fatal("dead lease not cleared")
+	}
+	// The sweep is claimed: a second sweeper finds nothing.
+	if dead := tb.SweepExpired(2, ttl); len(dead) != 0 {
+		t.Fatalf("double sweep: %+v", dead)
+	}
+}
+
+func TestSweepSkipsSelf(t *testing.T) {
+	now := fakeClock(t)
+	tb := NewMem(4)
+	tb.Join(3)
+	tb.ClaimFree(0, 3)
+	*now += 10 * int64(ttl)
+	// Program 3's own (stale) sweep must not free its own cores.
+	if dead := tb.SweepExpired(3, ttl); len(dead) != 0 {
+		t.Fatalf("self-sweep: %+v", dead)
+	}
+	// But any other sweeper — including the system-level self=0 — does.
+	if dead := tb.SweepExpired(0, ttl); len(dead) != 1 || dead[0].Cores != 1 {
+		t.Fatalf("sweep = %+v", dead)
+	}
+}
+
+func TestSweepClearsEvictionFlag(t *testing.T) {
+	now := fakeClock(t)
+	tb := NewMem(4)
+	// Program 1 borrows core 0; program 2 reclaims it (eviction flag up),
+	// then program 2 dies still holding it.
+	tb.Join(1)
+	tb.Join(2)
+	tb.ClaimFree(0, 1)
+	if !tb.Reclaim(0, 2, 1) {
+		t.Fatal("reclaim failed")
+	}
+	if !tb.EvictionPending(0) {
+		t.Fatal("no eviction pending")
+	}
+	*now += 10 * int64(ttl)
+	tb.Beat(1)
+	if dead := tb.SweepExpired(1, ttl); len(dead) != 1 || dead[0].PID != 2 {
+		t.Fatalf("sweep = %+v", dead)
+	}
+	if tb.Occupant(0) != Free {
+		t.Fatal("core not freed")
+	}
+	if tb.EvictionPending(0) {
+		t.Fatal("freed core left with a stale eviction flag")
+	}
+}
+
+func TestSweepRejoinRace(t *testing.T) {
+	now := fakeClock(t)
+	tb := NewMem(4)
+	tb.Join(1)
+	tb.ClaimFree(0, 1)
+	*now += 10 * int64(ttl)
+	// Program 1's process restarts and rejoins (fresh beat, epoch 2)
+	// before any survivor sweeps: the stale-beat CAS must fail and the new
+	// generation's cores stay owned.
+	tb.Join(1)
+	if dead := tb.SweepExpired(2, ttl); len(dead) != 0 {
+		t.Fatalf("swept a freshly rejoined program: %+v", dead)
+	}
+	if tb.Occupant(0) != 1 {
+		t.Fatal("rejoined program lost its core")
+	}
+}
+
+// TestSweepConcurrentSingleWinner races many sweepers over one dead
+// program: exactly one must claim the sweep, and the total of freed cores
+// must equal the dead program's holdings.
+func TestSweepConcurrentSingleWinner(t *testing.T) {
+	now := fakeClock(t)
+	const k = 16
+	tb := NewMem(k)
+	tb.Join(1)
+	for c := 0; c < 5; c++ {
+		tb.ClaimFree(c, 1)
+	}
+	*now += 10 * int64(ttl)
+
+	var wg sync.WaitGroup
+	wins := make([]int, 8)
+	for i := range wins {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, e := range tb.SweepExpired(int32(i+2), ttl) {
+				wins[i] += e.Cores
+			}
+		}(i)
+	}
+	wg.Wait()
+	total, winners := 0, 0
+	for _, w := range wins {
+		total += w
+		if w > 0 {
+			winners++
+		}
+	}
+	if winners != 1 || total != 5 {
+		t.Fatalf("winners=%d total=%d, want exactly one sweeper freeing 5 cores (wins=%v)",
+			winners, total, wins)
+	}
+}
+
+func TestLeasePIDBounds(t *testing.T) {
+	tb := NewMem(2)
+	for _, fn := range []func(){
+		func() { tb.Join(0) },
+		func() { tb.Join(3) },
+		func() { tb.Beat(-1) },
+		func() { tb.SweepExpired(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid lease call did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,216 @@
+//go:build linux || darwin
+
+package mproc
+
+import (
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"dws/internal/coretable"
+)
+
+// TestMain doubles as the worker binary: when the test executable is
+// re-exec'd with a worker config in the environment it runs that worker
+// and exits, so the crash test below has a real separate OS process to
+// SIGKILL.
+func TestMain(m *testing.M) {
+	if cfg, ok := ConfigFromEnv(); ok {
+		if err := RunWorker(cfg); err != nil {
+			os.Stderr.WriteString("worker: " + err.Error() + "\n")
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// spawnWorker re-execs the test binary as worker idx of cfg and returns
+// the running command.
+func spawnWorker(t *testing.T, cfg WorkerConfig, idx int) *exec.Cmd {
+	t.Helper()
+	cfg.Index = idx
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), cfg.Env()...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// TestCrashRecovery is the acceptance scenario for crash-robust mode: m
+// worker processes cooperate through one table file, one is SIGKILLed
+// while it demonstrably holds ≥ 2 cores, and the survivors' lease
+// sweepers must free every core it held within a bounded window. The
+// parent only observes — it opens its own mapping and never claims or
+// sweeps, so any recovery is the survivors' doing.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	const (
+		k       = 8
+		m       = 3
+		period  = 20 * time.Millisecond
+		ttl     = 200 * time.Millisecond
+		victim  = 1
+		victimP = int32(victim + 1)
+	)
+	path := filepath.Join(t.TempDir(), "core.table")
+	table, err := coretable.OpenFile(path, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Close()
+
+	cfg := WorkerConfig{
+		TablePath: path, Cores: k, Programs: m,
+		Kernel: "Heat", Size: 0.4,
+		Duration:    2 * time.Minute, // the test ends the run, not the clock
+		CoordPeriod: period, LeaseTTL: ttl,
+	}
+	cmds := make([]*exec.Cmd, m)
+	for i := 0; i < m; i++ {
+		cmds[i] = spawnWorker(t, cfg, i)
+	}
+	defer func() {
+		for _, cmd := range cmds {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}()
+
+	// Wait until the victim provably holds at least two cores (its home
+	// share under DWS demand) so the kill strands a multi-core allocation.
+	deadline := time.Now().Add(30 * time.Second)
+	for table.CountOccupiedBy(victimP) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never held 2 cores (holds %d)", table.CountOccupiedBy(victimP))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	held := table.CountOccupiedBy(victimP)
+	if err := cmds[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	killed := time.Now()
+	_, _ = cmds[victim].Process.Wait()
+	t.Logf("SIGKILLed worker %d holding %d cores", victim, held)
+
+	// Bounded-window recovery: the survivors sweep the dead lease after at
+	// most ttl + one coordinator period; 5s of wall clock is orders of
+	// magnitude of slack for CI yet still catches a leak.
+	for table.CountOccupiedBy(victimP) > 0 {
+		if time.Since(killed) > 5*time.Second {
+			t.Fatalf("dead worker's cores not recovered: still holds %d after %v",
+				table.CountOccupiedBy(victimP), time.Since(killed))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Logf("all %d cores recovered in %v", held, time.Since(killed).Round(time.Millisecond))
+
+	// The victim's lease slot must be cleared (the sweep claimed it), and
+	// survivors must still be beating their own.
+	if b := table.LeaseBeat(victimP); b != 0 {
+		t.Fatalf("dead worker's lease beat not cleared: %d", b)
+	}
+	for i := 0; i < m; i++ {
+		if i == victim {
+			continue
+		}
+		if table.LeaseBeat(int32(i+1)) == 0 {
+			t.Fatalf("survivor %d has no live lease", i)
+		}
+	}
+
+	// Survivors exit cleanly on SIGTERM: cores released, leases dropped.
+	for i, cmd := range cmds {
+		if i == victim {
+			continue
+		}
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for i, cmd := range cmds {
+		if i == victim {
+			continue
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("survivor %d exit: %v", i, err)
+		}
+	}
+	for c := 0; c < k; c++ {
+		if occ := table.Occupant(c); occ != coretable.Free {
+			t.Errorf("core %d still occupied by %d after clean shutdown", c, occ)
+		}
+	}
+}
+
+// TestWorkerCleanExit: a worker that receives SIGTERM before its deadline
+// releases every core and drops its lease — nothing for anyone to sweep.
+func TestWorkerCleanExit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "core.table")
+	table, err := coretable.OpenFile(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Close()
+
+	cfg := WorkerConfig{
+		TablePath: path, Cores: 4, Programs: 1,
+		Kernel: "Mergesort", Size: 0.1,
+		Duration: 2 * time.Minute, CoordPeriod: 10 * time.Millisecond,
+	}
+	cmd := spawnWorker(t, cfg, 0)
+	// Let it join and run at least one iteration.
+	deadline := time.Now().Add(30 * time.Second)
+	for table.LeaseBeat(1) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never joined the table")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("clean exit: %v", err)
+	}
+	if b := table.LeaseBeat(1); b != 0 {
+		t.Fatalf("lease survived clean exit: beat %d", b)
+	}
+	for c := 0; c < 4; c++ {
+		if occ := table.Occupant(c); occ != coretable.Free {
+			t.Fatalf("core %d occupied by %d after clean exit", c, occ)
+		}
+	}
+}
+
+// TestConfigEnvRoundTrip: Env/ConfigFromEnv carry every field a worker
+// needs.
+func TestConfigEnvRoundTrip(t *testing.T) {
+	want := WorkerConfig{
+		TablePath: "/tmp/x.table", Cores: 16, Programs: 4, Index: 2,
+		Kernel: "FFT", Size: 0.5,
+		Duration: 7 * time.Second, CoordPeriod: 9 * time.Millisecond,
+		LeaseTTL: 90 * time.Millisecond, TSleep: 3,
+	}
+	for _, kv := range want.Env() {
+		for i := 0; i < len(kv); i++ {
+			if kv[i] == '=' {
+				t.Setenv(kv[:i], kv[i+1:])
+				break
+			}
+		}
+	}
+	got, ok := ConfigFromEnv()
+	if !ok {
+		t.Fatal("ConfigFromEnv did not detect the worker env")
+	}
+	if got != want {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,154 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// leaseSystem builds a DWS system with a short coordinator period and an
+// aggressive lease TTL so sweeps happen within test-scale wall time.
+func leaseSystem(t *testing.T, cores, progs int) *System {
+	t.Helper()
+	s, err := NewSystem(Config{
+		Cores:       cores,
+		Programs:    progs,
+		Policy:      DWS,
+		CoordPeriod: 2 * time.Millisecond,
+		LeaseTTL:    25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWedgedProgramSwept: a program that stops heartbeating while holding
+// cores is detected by its co-runner's coordinator sweep; its cores are
+// freed, the recovery counters advance, and the dead-program handler
+// fires with the victim's slot.
+func TestWedgedProgramSwept(t *testing.T) {
+	s := leaseSystem(t, 4, 2)
+	alive, err := s.NewProgram("alive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.NewProgram("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var deadSlots []int
+	s.SetDeadProgramHandler(func(slot int, pid int32, coresFreed int) {
+		mu.Lock()
+		deadSlots = append(deadSlots, slot)
+		mu.Unlock()
+	})
+
+	// The co-runner keeps its own lease fresh and sweeps every tick; the
+	// victim runs a long serial task (so it occupies ≥1 core throughout)
+	// with its heartbeat cut — the crash-without-release scenario.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := alive.Run(yieldingSerial(250 * time.Millisecond)); err != nil {
+			t.Error(err)
+		}
+	}()
+	victim.FailBeats(true)
+	go func() {
+		defer wg.Done()
+		// The run itself still completes: sweeping frees table slots, it
+		// does not stop goroutines (that is the in-process analogue of a
+		// wedged — not exited — program).
+		if err := victim.Run(yieldingSerial(250 * time.Millisecond)); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	waitFor(t, 5*time.Second, "victim sweep", func() bool {
+		d, _ := s.RecoveryStats()
+		return d >= 1 && s.table.CountOccupiedBy(victim.id) == 0
+	})
+	_, cores := s.RecoveryStats()
+	if cores < 1 {
+		t.Fatalf("CoresRecovered = %d, want ≥ 1", cores)
+	}
+	waitFor(t, time.Second, "dead-program handler", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(deadSlots) >= 1
+	})
+	mu.Lock()
+	if deadSlots[0] != victim.Slot() {
+		t.Fatalf("handler slot = %d, want %d", deadSlots[0], victim.Slot())
+	}
+	mu.Unlock()
+	wg.Wait()
+}
+
+// TestSystemSweeperCollectsSoloProgram: with no surviving co-runner to
+// sweep, the System-level sweeper (self = 0) still reclaims a wedged
+// program's cores — this is what lets dwsd evict its only tenant.
+func TestSystemSweeperCollectsSoloProgram(t *testing.T) {
+	s := leaseSystem(t, 4, 1)
+	p, err := s.NewProgram("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FailBeats(true)
+	done := make(chan error, 1)
+	go func() { done <- p.Run(yieldingSerial(250 * time.Millisecond)) }()
+
+	waitFor(t, 5*time.Second, "system sweep", func() bool {
+		d, _ := s.RecoveryStats()
+		return d >= 1 && s.table.CountOccupiedBy(p.id) == 0
+	})
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.DeadSweeps != 0 {
+		t.Fatalf("program credited its own death: DeadSweeps = %d", st.DeadSweeps)
+	}
+}
+
+// TestCleanCloseNotSwept: a program that exits through Close leaves its
+// lease cleanly; several TTLs later nothing has been "recovered".
+func TestCleanCloseNotSwept(t *testing.T) {
+	s := leaseSystem(t, 4, 2)
+	a, err := s.NewProgram("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.NewProgram("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(yieldingSerial(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	// b keeps sweeping every period; a's clean exit must never register.
+	if err := b.Run(yieldingSerial(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if d, c := s.RecoveryStats(); d != 0 || c != 0 {
+		t.Fatalf("clean close was swept: deadSweeps=%d coresRecovered=%d", d, c)
+	}
+}

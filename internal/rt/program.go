@@ -31,6 +31,7 @@ type Program struct {
 	active    atomic.Int64
 	runActive atomic.Bool
 	shutdown  atomic.Bool
+	beatsOff  atomic.Bool // fault injection: suppress lease heartbeats
 
 	runMu     sync.Mutex // serialises Run calls
 	coordStop chan struct{}
@@ -104,7 +105,11 @@ func (p *Program) start() {
 			p.launch(p.workers[c], stateActive)
 		}
 	case DWS:
-		p.sys.table.InstallHome(p.home, p.id)
+		// Join the lease (heartbeat stamped) before taking any core, so
+		// there is no window where the program occupies cores without a
+		// live lease a survivor could check.
+		p.sys.table.Join(p.id)
+		p.takeHome()
 		for _, w := range p.workers {
 			if isHome[w.id] {
 				p.launch(w, stateActive)
@@ -135,6 +140,36 @@ func (p *Program) launch(w *worker, initial int32) {
 	p.wg.Add(1)
 	go w.loop()
 }
+
+// takeHome (re)establishes the initial even allocation through the CAS
+// protocol: free home cores are claimed and borrowed ones reclaimed (the
+// eviction flag tells the borrower to stop). Unlike a blind install this
+// is safe when other programs — possibly in other OS processes — already
+// run on the shared table: a late or restarted joiner takes its home
+// share back the same way a reclaiming owner does.
+func (p *Program) takeHome() {
+	t := p.sys.table
+	for _, c := range p.home {
+		switch occ := t.Occupant(c); {
+		case occ == p.id:
+			// Already ours (restart).
+		case occ == coretable.Free:
+			if t.ClaimFree(c, p.id) {
+				p.st.claims.Add(1)
+			}
+		default:
+			if t.Reclaim(c, p.id, occ) {
+				p.st.reclaims.Add(1)
+			}
+		}
+	}
+}
+
+// FailBeats is a fault-injection hook for tests and demos: while set, the
+// coordinator stops beating the program's core-table lease, so survivors
+// eventually declare the program dead and sweep its cores — exactly what
+// happens when a real program wedges or its process is SIGKILLed.
+func (p *Program) FailBeats(off bool) { p.beatsOff.Store(off) }
 
 // ErrClosed is returned by Run on a closed program.
 var ErrClosed = errors.New("rt: program is closed")
@@ -252,13 +287,19 @@ waitLoop:
 		for c := 0; c < p.sys.cfg.Cores; c++ {
 			p.sys.table.Release(c, p.id)
 		}
+		// Clean departure: drop the lease so survivors never sweep (and
+		// never double-free) this program's ID.
+		p.sys.table.Leave(p.id)
 	}
 	// Only after every goroutine has exited and every table entry is
 	// released may the slot (and with it the 1-based table ID) be reused.
 	p.sys.detach(p)
 }
 
-// coordinate is the coordinator loop (§3.3) for DWS and DWS-NC.
+// coordinate is the coordinator loop (§3.3) for DWS and DWS-NC. Under
+// DWS it also keeps the program's lease alive (one heartbeat per period)
+// and sweeps dead co-runners' leases, freeing their cores — the recovery
+// path for programs that died without releasing (kill -9, OOM).
 func (p *Program) coordinate() {
 	defer p.wg.Done()
 	ticker := time.NewTicker(p.sys.cfg.CoordPeriod)
@@ -268,6 +309,19 @@ func (p *Program) coordinate() {
 		case <-p.coordStop:
 			return
 		case <-ticker.C:
+			if p.sys.cfg.Policy == DWS {
+				t := p.sys.table
+				if !p.beatsOff.Load() {
+					t.Beat(p.id)
+				}
+				if dead := t.SweepExpired(p.id, p.sys.cfg.LeaseTTL); len(dead) > 0 {
+					for _, e := range dead {
+						p.st.deadSweeps.Add(1)
+						p.st.coresRecovered.Add(int64(e.Cores))
+					}
+					p.sys.noteSwept(dead)
+				}
+			}
 			p.coordTick()
 		}
 	}

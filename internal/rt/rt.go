@@ -97,6 +97,19 @@ type Config struct {
 	// yields before the attempt counts toward TSleep (small backoff; ≤0
 	// defaults to 1).
 	ParkSpin int
+	// LeaseTTL is how stale a program's core-table heartbeat may grow
+	// before survivors declare it dead and free its cores (DWS only; ≤0
+	// defaults to 10×CoordPeriod, floored at 2s — on an oversubscribed
+	// host a busy-but-alive program's coordinator can miss beats for
+	// hundreds of milliseconds, and a spurious sweep evicts a live
+	// program). Tests that wedge programs deliberately set it low.
+	LeaseTTL time.Duration
+	// Table optionally supplies an existing core allocation table —
+	// typically a file-backed one shared with other OS processes
+	// (coretable.OpenFile) — instead of a fresh in-memory table. DWS only;
+	// its K() must equal Cores. The caller keeps ownership: System.Close
+	// does not close an externally provided table.
+	Table *coretable.Table
 }
 
 func (c *Config) validate() error {
@@ -115,17 +128,46 @@ func (c *Config) validate() error {
 	if c.ParkSpin <= 0 {
 		c.ParkSpin = 1
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * c.CoordPeriod
+		if c.LeaseTTL < 2*time.Second {
+			c.LeaseTTL = 2 * time.Second
+		}
+	}
+	if c.Table != nil {
+		if c.Policy != DWS {
+			return errors.New("rt: an external Table requires the DWS policy")
+		}
+		if c.Table.K() != c.Cores {
+			return fmt.Errorf("rt: external table covers %d cores, want %d",
+				c.Table.K(), c.Cores)
+		}
+	}
 	return nil
 }
 
 // System is one simulated machine: k core slots shared by up to m
 // programs.
 type System struct {
-	cfg   Config
-	table *coretable.Table // non-nil only under DWS
+	cfg      Config
+	table    *coretable.Table // non-nil only under DWS
+	ownTable bool             // close the table on System.Close
 
 	mu    sync.Mutex
 	slots []*Program // one entry per program slot; nil while free
+
+	// Lease sweeping: the system runs its own sweeper goroutine (in
+	// addition to every program coordinator sweeping) so dead leases are
+	// collected even when no program is live, and aggregates recovery
+	// counters across all in-process sweepers.
+	sweepStop      chan struct{}
+	sweepWG        sync.WaitGroup
+	closeOnce      sync.Once
+	deadSweeps     atomic.Int64
+	coresRecovered atomic.Int64
+
+	deadMu sync.Mutex
+	onDead func(slot int, pid int32, coresFreed int)
 }
 
 // NewSystem creates a system for up to cfg.Programs co-running programs.
@@ -133,11 +175,80 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, slots: make([]*Program, cfg.Programs)}
+	s := &System{
+		cfg:       cfg,
+		slots:     make([]*Program, cfg.Programs),
+		sweepStop: make(chan struct{}),
+	}
 	if cfg.Policy == DWS {
-		s.table = coretable.NewMem(cfg.Cores)
+		if cfg.Table != nil {
+			s.table = cfg.Table
+		} else {
+			s.table = coretable.NewMem(cfg.Cores)
+			s.ownTable = true
+		}
+		s.sweepWG.Add(1)
+		go s.sweeper()
 	}
 	return s, nil
+}
+
+// sweeper is the system-level dead-lease collector: every coordinator
+// period it frees the cores of programs whose heartbeat expired. Program
+// coordinators run the same sweep (that is what recovers cores when the
+// dead program lived in another OS process and this process hosts a
+// survivor); the CAS-claimed sweep in coretable guarantees each death is
+// counted exactly once per table.
+func (s *System) sweeper() {
+	defer s.sweepWG.Done()
+	ticker := time.NewTicker(s.cfg.CoordPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-ticker.C:
+			s.noteSwept(s.table.SweepExpired(0, s.cfg.LeaseTTL))
+		}
+	}
+}
+
+// noteSwept folds one sweep's findings into the system recovery counters
+// and invokes the dead-program handler. Called by the system sweeper and
+// by every program coordinator.
+func (s *System) noteSwept(dead []coretable.Expired) {
+	if len(dead) == 0 {
+		return
+	}
+	s.deadMu.Lock()
+	h := s.onDead
+	s.deadMu.Unlock()
+	for _, e := range dead {
+		s.deadSweeps.Add(1)
+		s.coresRecovered.Add(int64(e.Cores))
+		if h != nil {
+			h(int(e.PID)-1, e.PID, e.Cores)
+		}
+	}
+}
+
+// SetDeadProgramHandler registers f to be called whenever a sweep finds a
+// program's lease expired (slot is the 0-based program slot, pid the
+// 1-based table ID). f runs on a coordinator or sweeper goroutine and
+// must not block; in particular it must not call Program.Close
+// synchronously (Close waits for the very coordinator f may be running
+// on). The job server uses this to evict wedged tenants.
+func (s *System) SetDeadProgramHandler(f func(slot int, pid int32, coresFreed int)) {
+	s.deadMu.Lock()
+	s.onDead = f
+	s.deadMu.Unlock()
+}
+
+// RecoveryStats returns the system-wide crash-recovery counters: how many
+// dead program leases were swept and how many occupied cores those sweeps
+// freed (both cumulative, aggregated over every in-process sweeper).
+func (s *System) RecoveryStats() (deadSweeps, coresRecovered int64) {
+	return s.deadSweeps.Load(), s.coresRecovered.Load()
 }
 
 // Cores returns k.
@@ -207,6 +318,25 @@ func (s *System) NewProgram(name string) (*Program, error) {
 	return p, nil
 }
 
+// NewProgramAt registers a program in a specific slot (0-based). It is
+// how an independently launched OS process joins a shared file-backed
+// table as program idx of m: the slot fixes both the table ID (idx+1) and
+// the home core block, which must agree across every process.
+func (s *System) NewProgramAt(name string, idx int) (*Program, error) {
+	if idx < 0 || idx >= s.cfg.Programs {
+		return nil, fmt.Errorf("rt: slot %d out of range [0,%d)", idx, s.cfg.Programs)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.slots[idx] != nil {
+		return nil, fmt.Errorf("rt: slot %d already hosts program %q", idx, s.slots[idx].name)
+	}
+	p := newProgram(s, name, idx)
+	s.slots[idx] = p
+	p.start()
+	return p, nil
+}
+
 // detach frees p's slot once it has fully shut down.
 func (s *System) detach(p *Program) {
 	s.mu.Lock()
@@ -216,12 +346,16 @@ func (s *System) detach(p *Program) {
 	}
 }
 
-// Close shuts down every program of the system.
+// Close shuts down every program of the system and stops the lease
+// sweeper. An externally provided table (Config.Table) is left open — its
+// owner closes it.
 func (s *System) Close() {
+	s.closeOnce.Do(func() { close(s.sweepStop) })
+	s.sweepWG.Wait()
 	for _, p := range s.Programs() {
 		p.Close()
 	}
-	if s.table != nil {
+	if s.table != nil && s.ownTable {
 		_ = s.table.Close()
 	}
 }
@@ -232,25 +366,31 @@ type Stats struct {
 	Sleeps, Wakes, Evictions int64
 	Claims, Reclaims         int64
 	Runs                     int64
+	// DeadSweeps counts dead co-runner leases this program's coordinator
+	// swept; CoresRecovered the cores those sweeps freed (DWS only).
+	DeadSweeps, CoresRecovered int64
 }
 
 // progStats holds the live atomic counters behind Stats.
 type progStats struct {
-	steals, failedSteals     atomic.Int64
-	sleeps, wakes, evictions atomic.Int64
-	claims, reclaims         atomic.Int64
-	runs                     atomic.Int64
+	steals, failedSteals       atomic.Int64
+	sleeps, wakes, evictions   atomic.Int64
+	claims, reclaims           atomic.Int64
+	runs                       atomic.Int64
+	deadSweeps, coresRecovered atomic.Int64
 }
 
 func (ps *progStats) snapshot() Stats {
 	return Stats{
-		Steals:       ps.steals.Load(),
-		FailedSteals: ps.failedSteals.Load(),
-		Sleeps:       ps.sleeps.Load(),
-		Wakes:        ps.wakes.Load(),
-		Evictions:    ps.evictions.Load(),
-		Claims:       ps.claims.Load(),
-		Reclaims:     ps.reclaims.Load(),
-		Runs:         ps.runs.Load(),
+		Steals:         ps.steals.Load(),
+		FailedSteals:   ps.failedSteals.Load(),
+		Sleeps:         ps.sleeps.Load(),
+		Wakes:          ps.wakes.Load(),
+		Evictions:      ps.evictions.Load(),
+		Claims:         ps.claims.Load(),
+		Reclaims:       ps.reclaims.Load(),
+		Runs:           ps.runs.Load(),
+		DeadSweeps:     ps.deadSweeps.Load(),
+		CoresRecovered: ps.coresRecovered.Load(),
 	}
 }

@@ -34,19 +34,25 @@ type Stats struct {
 	Claims       int64 `json:"claims"`
 	Reclaims     int64 `json:"reclaims"`
 	Runs         int64 `json:"runs"`
+	// Crash recovery: dead co-runner leases this program swept, and the
+	// cores those sweeps freed (DWS only).
+	DeadSweeps     int64 `json:"dead_sweeps,omitempty"`
+	CoresRecovered int64 `json:"cores_recovered,omitempty"`
 }
 
 // FromRTStats converts runtime counters to the wire form.
 func FromRTStats(s rt.Stats) Stats {
 	return Stats{
-		Steals:       s.Steals,
-		FailedSteals: s.FailedSteals,
-		Sleeps:       s.Sleeps,
-		Wakes:        s.Wakes,
-		Evictions:    s.Evictions,
-		Claims:       s.Claims,
-		Reclaims:     s.Reclaims,
-		Runs:         s.Runs,
+		Steals:         s.Steals,
+		FailedSteals:   s.FailedSteals,
+		Sleeps:         s.Sleeps,
+		Wakes:          s.Wakes,
+		Evictions:      s.Evictions,
+		Claims:         s.Claims,
+		Reclaims:       s.Reclaims,
+		Runs:           s.Runs,
+		DeadSweeps:     s.DeadSweeps,
+		CoresRecovered: s.CoresRecovered,
 	}
 }
 
@@ -54,14 +60,16 @@ func FromRTStats(s rt.Stats) Stats {
 // counters).
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Steals:       s.Steals - o.Steals,
-		FailedSteals: s.FailedSteals - o.FailedSteals,
-		Sleeps:       s.Sleeps - o.Sleeps,
-		Wakes:        s.Wakes - o.Wakes,
-		Evictions:    s.Evictions - o.Evictions,
-		Claims:       s.Claims - o.Claims,
-		Reclaims:     s.Reclaims - o.Reclaims,
-		Runs:         s.Runs - o.Runs,
+		Steals:         s.Steals - o.Steals,
+		FailedSteals:   s.FailedSteals - o.FailedSteals,
+		Sleeps:         s.Sleeps - o.Sleeps,
+		Wakes:          s.Wakes - o.Wakes,
+		Evictions:      s.Evictions - o.Evictions,
+		Claims:         s.Claims - o.Claims,
+		Reclaims:       s.Reclaims - o.Reclaims,
+		Runs:           s.Runs - o.Runs,
+		DeadSweeps:     s.DeadSweeps - o.DeadSweeps,
+		CoresRecovered: s.CoresRecovered - o.CoresRecovered,
 	}
 }
 

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dws/internal/rt"
+)
+
+// TestRetryAfterMonotone pins down the Retry-After contract table-style:
+// the hint never drops below one second (header resolution), and it is
+// monotone in both the average run time and the queue depth — a fuller
+// queue of slower jobs must never produce a *shorter* hint.
+func TestRetryAfterMonotone(t *testing.T) {
+	mk := func(ewma time.Duration, queued int) *tenant {
+		tn := &tenant{queue: make(chan *job, 16)}
+		tn.runEWMANanos.Store(int64(ewma))
+		for i := 0; i < queued; i++ {
+			tn.queue <- &job{}
+		}
+		return tn
+	}
+	cases := []struct {
+		name   string
+		ewma   time.Duration
+		queued int
+		want   time.Duration
+	}{
+		{"no history", 0, 0, time.Second},
+		{"fast jobs floor", 10 * time.Millisecond, 8, time.Second},
+		{"one slow job", 1500 * time.Millisecond, 0, 2 * time.Second},
+		{"half queue of seconds", time.Second, 4, 3 * time.Second},
+		{"deep queue slow jobs", 2 * time.Second, 8, 10 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mk(tc.ewma, tc.queued).retryAfter(); got != tc.want {
+				t.Fatalf("retryAfter(ewma=%v, queued=%d) = %v, want %v",
+					tc.ewma, tc.queued, got, tc.want)
+			}
+		})
+	}
+	// Monotonicity sweeps: fixed queue, growing EWMA; fixed EWMA, growing
+	// queue.
+	prev := time.Duration(0)
+	for _, ewma := range []time.Duration{0, 100, 600, 1200, 5000} {
+		got := mk(ewma*time.Millisecond, 4).retryAfter()
+		if got < prev {
+			t.Fatalf("retryAfter shrank as EWMA grew: %v after %v", got, prev)
+		}
+		prev = got
+	}
+	prev = 0
+	for queued := 0; queued <= 16; queued += 4 {
+		got := mk(800*time.Millisecond, queued).retryAfter()
+		if got < prev {
+			t.Fatalf("retryAfter shrank as queue grew: %v after %v", got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestQueuedDeadlineEdges drives the deadline-while-queued decision table
+// behind one pinned runner: a queued job whose deadline cannot be met is
+// 504 and never runs; a queued job with room to spare runs to 200 once
+// the pin drains.
+func TestQueuedDeadlineEdges(t *testing.T) {
+	_, hs := newTestServer(t, Config{Cores: 2, Policy: rt.DWS, MaxTenants: 1, QueueDepth: 8})
+
+	// Pin the single runner with one long job so everything below queues.
+	pin := make(chan struct{})
+	go func() {
+		defer close(pin)
+		submit(t, hs.URL, JobRequest{Tenant: "a", Kernel: "Mergesort", Size: 1.0})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the pin start running
+
+	cases := []struct {
+		name       string
+		deadlineMS int64
+		wantCode   int
+		wantStatus string
+	}{
+		{"expires while queued", 1, http.StatusGatewayTimeout, ""},
+		{"meets a generous deadline", 60_000, http.StatusOK, StatusOK},
+		{"server default deadline", 0, http.StatusOK, StatusOK},
+	}
+	var wg sync.WaitGroup
+	for _, tc := range cases {
+		wg.Add(1)
+		go func(tc struct {
+			name       string
+			deadlineMS int64
+			wantCode   int
+			wantStatus string
+		}) {
+			defer wg.Done()
+			resp, res := submit(t, hs.URL, JobRequest{
+				Tenant: "a", Kernel: "FFT", Size: 0.02, DeadlineMS: tc.deadlineMS,
+			})
+			if resp.StatusCode != tc.wantCode {
+				t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantCode)
+				return
+			}
+			if tc.wantStatus != "" && res.Status != tc.wantStatus {
+				t.Errorf("%s: result status %q, want %q", tc.name, res.Status, tc.wantStatus)
+			}
+			if tc.wantCode == http.StatusOK && res.QueueMS <= 0 {
+				t.Errorf("%s: served instantly (queue wait %vms) — the pin never pinned", tc.name, res.QueueMS)
+			}
+		}(tc)
+	}
+	wg.Wait()
+	<-pin
+}
+
+// TestDrainCompletesInFlight: a job that is *running* (not merely queued)
+// when the drain starts must finish with 200/ok — Shutdown is the SIGTERM
+// path in cmd/dwsd, and SIGTERM must never clip in-flight work.
+func TestDrainCompletesInFlight(t *testing.T) {
+	s, err := New(Config{Cores: 2, Policy: rt.DWS, MaxTenants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	type outcome struct {
+		code int
+		res  JobResult
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		resp, res := submit(t, hs.URL, JobRequest{Tenant: "a", Kernel: "Mergesort", Size: 0.8})
+		ch <- outcome{resp.StatusCode, res}
+	}()
+	// Wait until the job is demonstrably running, then drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if tl := s.tenantList(); len(tl) == 1 && tl[0].prog.Stats().Runs == 0 && len(tl[0].queue) == 0 {
+			break // admitted, dequeued, not yet finished: it is running
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	got := <-ch
+	if got.code != http.StatusOK || got.res.Status != StatusOK {
+		t.Fatalf("in-flight job during drain: code %d status %q, want 200/ok", got.code, got.res.Status)
+	}
+}
+
+// TestMetricsScrapeAllPolicies: every policy serves jobs and scrapes; the
+// core-allocation-table series exist exactly under DWS. (Before this PR
+// System.Occupants silently returned nil off-DWS and the occupancy gauge
+// vanished without a trace.)
+func TestMetricsScrapeAllPolicies(t *testing.T) {
+	for _, pol := range []rt.Policy{rt.ABP, rt.EP, rt.DWS, rt.DWSNC} {
+		t.Run(pol.String(), func(t *testing.T) {
+			_, hs := newTestServer(t, Config{Cores: 4, Policy: pol, MaxTenants: 2})
+			if resp, _ := submit(t, hs.URL, JobRequest{Tenant: "a", Kernel: "FFT", Size: 0.02}); resp.StatusCode != http.StatusOK {
+				t.Fatalf("submit under %s: status %d", pol, resp.StatusCode)
+			}
+			resp, err := http.Get(hs.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body := string(raw)
+
+			for _, want := range []string{
+				`dws_program_runs{tenant="a"} 1`,
+				"dws_free_tenant_slots 1",
+				`dws_jobs_total{tenant="a",kernel="FFT",status="ok"} 1`,
+			} {
+				if !strings.Contains(body, want) {
+					t.Errorf("%s: /metrics missing %q", pol, want)
+				}
+			}
+			dwsOnly := []string{
+				"dws_core_occupant{", `dws_cores_held{tenant="a"}`,
+				"dws_dead_programs_swept", "dws_cores_recovered",
+			}
+			for _, series := range dwsOnly {
+				has := strings.Contains(body, series)
+				if pol == rt.DWS && !has {
+					t.Errorf("DWS /metrics missing %q", series)
+				}
+				if pol != rt.DWS && has {
+					t.Errorf("%s /metrics has table series %q (no table exists)", pol, series)
+				}
+			}
+		})
+	}
+}
+
+// TestWedgedTenantEvicted: a tenant whose program stops heartbeating is
+// swept by the system sweeper, evicted from the tenant map, its slot
+// freed for new tenants, and the eviction shows in /metrics. The same
+// tenant name can then be re-admitted on a fresh program.
+func TestWedgedTenantEvicted(t *testing.T) {
+	s, hs := newTestServer(t, Config{
+		Cores: 4, Policy: rt.DWS, MaxTenants: 2,
+		CoordPeriod: 5 * time.Millisecond, LeaseTTL: 40 * time.Millisecond,
+	})
+	if resp, _ := submit(t, hs.URL, JobRequest{Tenant: "a", Kernel: "FFT", Size: 0.02}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if free := s.System().FreeSlots(); free != 1 {
+		t.Fatalf("FreeSlots = %d, want 1", free)
+	}
+
+	// Wedge tenant a's program: its coordinator stops beating its lease.
+	var prog *rt.Program
+	for _, p := range s.System().Programs() {
+		if p.Name() == "a" {
+			prog = p
+		}
+	}
+	if prog == nil {
+		t.Fatal("tenant a's program not found")
+	}
+	prog.FailBeats(true)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if len(s.tenantList()) == 0 && s.System().FreeSlots() == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wedged tenant not evicted: tenants=%d free=%d",
+				len(s.tenantList()), s.System().FreeSlots())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`dws_tenants_evicted_total{tenant="a"} 1`,
+		"dws_dead_programs_swept 1",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The slot is genuinely reusable: the same name re-admits cleanly.
+	if resp, res := submit(t, hs.URL, JobRequest{Tenant: "a", Kernel: "FFT", Size: 0.02}); resp.StatusCode != http.StatusOK || res.Status != StatusOK {
+		t.Fatalf("re-admission after eviction: status %d res %+v", resp.StatusCode, res)
+	}
+}

@@ -52,6 +52,11 @@ type Config struct {
 	// to 0.25 and 1.0.
 	DefaultSize float64
 	MaxSize     float64
+	// CoordPeriod and LeaseTTL tune the hosted system's coordinator
+	// period and core-table lease expiry (crash/wedge recovery); ≤0 uses
+	// the rt defaults (10ms, and 10×CoordPeriod floored at 2s).
+	CoordPeriod time.Duration
+	LeaseTTL    time.Duration
 }
 
 func (c *Config) validate() error {
@@ -97,6 +102,7 @@ type Server struct {
 	// instruments
 	mJobs      metrics.CounterVec // tenant, kernel, status
 	mRejected  metrics.CounterVec // tenant, reason
+	mEvicted   metrics.CounterVec // tenant
 	mLatency   metrics.HistogramVec
 	mQueueWait metrics.HistogramVec
 	mRunTime   metrics.HistogramVec
@@ -108,9 +114,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	sys, err := rt.NewSystem(rt.Config{
-		Cores:    cfg.Cores,
-		Programs: cfg.MaxTenants,
-		Policy:   cfg.Policy,
+		Cores:       cfg.Cores,
+		Programs:    cfg.MaxTenants,
+		Policy:      cfg.Policy,
+		CoordPeriod: cfg.CoordPeriod,
+		LeaseTTL:    cfg.LeaseTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -126,6 +134,8 @@ func New(cfg Config) (*Server, error) {
 		"Jobs by final status.", "tenant", "kernel", "status")
 	s.mRejected = s.reg.NewCounter("dws_jobs_rejected_total",
 		"Jobs rejected at admission.", "tenant", "reason")
+	s.mEvicted = s.reg.NewCounter("dws_tenants_evicted_total",
+		"Tenants evicted because their program's core-table lease expired.", "tenant")
 	s.mLatency = s.reg.NewHistogram("dws_job_latency_seconds",
 		"End-to-end job latency (queue wait + run).", nil, "tenant", "kernel")
 	s.mQueueWait = s.reg.NewHistogram("dws_job_queue_seconds",
@@ -151,31 +161,38 @@ func New(cfg Config) (*Server, error) {
 		progVecs[name] = s.reg.NewGauge(name,
 			"Cumulative rt.Stats counter for the tenant's program.", "tenant")
 	}
-	coreOcc := s.reg.NewGauge("dws_core_occupant",
-		"Core allocation table: occupying program slot ID (0 = free); DWS only.", "core")
-	coresHeld := s.reg.NewGauge("dws_cores_held",
-		"Cores the tenant currently holds in the allocation table; DWS only.", "tenant")
 	freeSlots := s.reg.NewGauge("dws_free_tenant_slots",
 		"Program slots available for new tenants.")
 	s.reg.OnScrape(func() {
 		freeSlots.With().Set(float64(s.sys.FreeSlots()))
-		occ := s.sys.Occupants()
-		for c, id := range occ {
-			coreOcc.With(strconv.Itoa(c)).Set(float64(id))
-		}
-		s.mu.Lock()
-		ts := make([]*tenant, 0, len(s.tenants))
-		for _, t := range s.tenants {
-			ts = append(ts, t)
-		}
-		s.mu.Unlock()
-		for _, t := range ts {
+		for _, t := range s.tenantList() {
 			qDepth.With(t.name).Set(float64(len(t.queue)))
 			st := FromRTStats(t.prog.Stats())
 			for name, get := range progGauges {
 				progVecs[name].With(t.name).Set(float64(get(st)))
 			}
-			if occ != nil {
+		}
+	})
+
+	// Core-allocation-table collectors exist only under DWS — the other
+	// policies have no table, and registering gauges that can never emit a
+	// series would just hide their absence (System.Occupants returning nil
+	// used to make this failure mode silent).
+	if sys.Policy() == rt.DWS {
+		coreOcc := s.reg.NewGauge("dws_core_occupant",
+			"Core allocation table: occupying program slot ID (0 = free).", "core")
+		coresHeld := s.reg.NewGauge("dws_cores_held",
+			"Cores the tenant currently holds in the allocation table.", "tenant")
+		deadSweeps := s.reg.NewGauge("dws_dead_programs_swept",
+			"Dead program leases swept by crash recovery (cumulative).")
+		recovered := s.reg.NewGauge("dws_cores_recovered",
+			"Cores freed from dead programs by crash recovery (cumulative).")
+		s.reg.OnScrape(func() {
+			occ := s.sys.Occupants()
+			for c, id := range occ {
+				coreOcc.With(strconv.Itoa(c)).Set(float64(id))
+			}
+			for _, t := range s.tenantList() {
 				held := 0
 				for _, id := range occ {
 					if int(id) == t.prog.Slot()+1 {
@@ -184,8 +201,15 @@ func New(cfg Config) (*Server, error) {
 				}
 				coresHeld.With(t.name).Set(float64(held))
 			}
-		}
-	})
+			ds, cr := s.sys.RecoveryStats()
+			deadSweeps.With().Set(float64(ds))
+			recovered.With().Set(float64(cr))
+		})
+		// Evict tenants whose program stopped beating its lease: the
+		// sweeper already freed their cores; here the tenant slot itself is
+		// reclaimed so new tenants can be admitted.
+		sys.SetDeadProgramHandler(s.onDeadProgram)
+	}
 
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
@@ -194,6 +218,41 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	return s, nil
+}
+
+// tenantList snapshots the current tenants.
+func (s *Server) tenantList() []*tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// onDeadProgram evicts the tenant whose program's lease expired (its
+// coordinator wedged or stopped beating): the tenant is removed from the
+// map, still-queued jobs are failed fast (the program cannot be trusted
+// to run them), and its runner closes the program, freeing the slot. It
+// runs on a sweeper goroutine, so everything that blocks — draining,
+// Program.Close — is left to the tenant's runner goroutine.
+func (s *Server) onDeadProgram(slot int, _ int32, _ int) {
+	s.mu.Lock()
+	var victim *tenant
+	for name, t := range s.tenants {
+		if t.prog.Slot() == slot {
+			victim = t
+			delete(s.tenants, name)
+			t.evicted.Store(true)
+			close(t.queue)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if victim != nil {
+		s.mEvicted.With(victim.name).Inc()
+	}
 }
 
 // Handler returns the server's HTTP handler.

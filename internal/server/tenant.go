@@ -37,6 +37,10 @@ type tenant struct {
 	// receiver.
 	queue chan *job
 
+	// evicted is set (before the queue is closed) when the program's
+	// lease expired: remaining queued jobs are failed fast instead of run.
+	evicted atomic.Bool
+
 	jobsServed atomic.Int64
 	// runEWMANanos tracks an exponentially weighted moving average of run
 	// time, used to compute honest Retry-After hints under backpressure.
@@ -57,15 +61,34 @@ func newTenant(s *Server, name string, prog *rt.Program) *tenant {
 	return t
 }
 
-// run drains the queue until it is closed (tenant deletion or server
-// drain), then closes the program. Queued jobs admitted before the close
-// are still served — graceful drain.
+// run drains the queue until it is closed (tenant deletion, server
+// drain, or lease-expiry eviction), then closes the program. Queued jobs
+// admitted before the close are still served — graceful drain — unless
+// the tenant was evicted, in which case a wedged program cannot be
+// trusted with them and they are failed fast.
 func (t *tenant) run() {
 	for j := range t.queue {
+		if t.evicted.Load() {
+			t.failFast(j)
+			continue
+		}
 		t.serve(j)
 	}
 	t.prog.Close()
 	close(t.exited)
+}
+
+// failFast resolves a queued job without running it (evicted tenant).
+func (t *tenant) failFast(j *job) {
+	queueWait := time.Since(j.enqueued)
+	j.res = JobResult{
+		ID: j.id, Tenant: t.name, Kernel: j.spec.Name,
+		Policy: t.srv.sys.Policy().String(), Cores: t.srv.sys.Cores(), Size: j.size,
+		Status:  StatusCanceled,
+		QueueMS: ms(queueWait), TotalMS: ms(queueWait),
+	}
+	t.srv.mJobs.With(t.name, j.spec.Name, StatusCanceled).Inc()
+	close(j.done)
 }
 
 // serve executes one job on the tenant's program and records the result.
