@@ -47,7 +47,22 @@ type Table struct {
 	evict  []atomic.Int32 // 1 while an eviction of the occupant is pending
 	epoch  []atomic.Int64 // per-program join generation
 	beat   []atomic.Int64 // per-program last-heartbeat UnixNano, 0 = none
+	now    func() int64   // lease clock override; nil = package nowNanos
 	closer func() error   // non-nil for file-backed tables
+}
+
+// SetNowFunc overrides this table's lease clock (Join/Beat/SweepExpired
+// timestamps). The runtime installs its Clock here so virtual-clock tests
+// control lease expiry. nil restores the package default. Call before the
+// table is shared; the field is not synchronised.
+func (t *Table) SetNowFunc(f func() int64) { t.now = f }
+
+// clock returns the table's lease clock.
+func (t *Table) clock() int64 {
+	if t.now != nil {
+		return t.now()
+	}
+	return nowNanos()
 }
 
 // NewMem returns an in-memory table for k cores, all free.
@@ -157,14 +172,14 @@ func (t *Table) checkLeasePID(pid int32) {
 // the new beat is in place).
 func (t *Table) Join(pid int32) int64 {
 	t.checkLeasePID(pid)
-	t.beat[pid-1].Store(nowNanos())
+	t.beat[pid-1].Store(t.clock())
 	return t.epoch[pid-1].Add(1)
 }
 
 // Beat refreshes pid's heartbeat. Coordinators call this every period.
 func (t *Table) Beat(pid int32) {
 	t.checkLeasePID(pid)
-	t.beat[pid-1].Store(nowNanos())
+	t.beat[pid-1].Store(t.clock())
 }
 
 // Leave ends pid's lease cleanly (program exit after releasing its
@@ -211,7 +226,7 @@ func (t *Table) SweepExpired(self int32, ttl time.Duration) []Expired {
 	if ttl <= 0 {
 		panic(fmt.Sprintf("coretable: non-positive lease ttl %v", ttl))
 	}
-	now := nowNanos()
+	now := t.clock()
 	var dead []Expired
 	for i := 0; i < t.k; i++ {
 		pid := int32(i + 1)

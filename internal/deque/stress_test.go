@@ -1,0 +1,156 @@
+package deque
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// dequeOps is the surface the concurrent stress battery exercises; both
+// the lock-free deque and the Locked reference implement it, and both must
+// satisfy the same invariants under the same seeded schedules.
+type dequeOps interface {
+	Push(*int)
+	Pop() *int
+	Steal() *int
+	Len() int
+}
+
+// stressDeque drives one owner (Push/Pop per a seeded script) against
+// `thieves` concurrent stealers and asserts the work-stealing contract:
+//
+//   - conservation: every pushed value is consumed exactly once, nothing
+//     is lost and nothing is duplicated across Pop and Steal;
+//   - per-thief monotonicity: steals take the FIFO end, so the values one
+//     thief observes are strictly increasing (the owner pushes 0,1,2,…);
+//   - Len sanity: never negative, never more than the values pushed so far.
+func stressDeque(t *testing.T, d dequeOps, seed int64, thieves, pushes int) {
+	t.Helper()
+	vals := make([]int, pushes) // stable addresses for the *int payloads
+	for i := range vals {
+		vals[i] = i
+	}
+
+	var stop atomic.Bool
+	stolen := make([][]int, thieves)
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				if v := d.Steal(); v != nil {
+					stolen[i] = append(stolen[i], *v)
+					continue
+				}
+				if stop.Load() {
+					return
+				}
+				runtime.Gosched()
+			}
+		}(i)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var popped []int
+	for i := 0; i < pushes; i++ {
+		d.Push(&vals[i])
+		if n := d.Len(); n < 0 || n > i+1 {
+			t.Errorf("Len() = %d after %d pushes", n, i+1)
+		}
+		// Seeded owner schedule: occasional Pop bursts and yields give the
+		// thieves every interleaving shape.
+		switch rng.Intn(4) {
+		case 0:
+			if v := d.Pop(); v != nil {
+				popped = append(popped, *v)
+			}
+		case 1:
+			runtime.Gosched()
+		}
+	}
+	// Drain what the thieves leave behind. Pop only reports empty when the
+	// deque is truly empty at that moment; in-flight steals may still hold
+	// the last entries, so spin until Len agrees.
+	for {
+		if v := d.Pop(); v != nil {
+			popped = append(popped, *v)
+			continue
+		}
+		if d.Len() <= 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	seen := make([]int, pushes) // consumption count per value
+	for _, v := range popped {
+		seen[v]++
+	}
+	for i, s := range stolen {
+		prev := -1
+		for _, v := range s {
+			seen[v]++
+			if v <= prev {
+				t.Errorf("thief %d stole %d after %d: steals must take the FIFO end in order", i, v, prev)
+			}
+			prev = v
+		}
+	}
+	lost, dup := 0, 0
+	for _, n := range seen {
+		switch {
+		case n == 0:
+			lost++
+		case n > 1:
+			dup++
+		}
+	}
+	if lost > 0 || dup > 0 {
+		t.Fatalf("conservation broken: %d values lost, %d duplicated (of %d pushed)", lost, dup, pushes)
+	}
+}
+
+// TestDequeConcurrentStress is the seeded multi-thief battery over the
+// lock-free deque, small enough to run under -race on every CI pass.
+func TestDequeConcurrentStress(t *testing.T) {
+	for _, thieves := range []int{1, 2, 4} {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("thieves=%d/seed=%d", thieves, seed), func(t *testing.T) {
+				stressDeque(t, New[int](4), seed, thieves, 2000)
+			})
+		}
+	}
+}
+
+// TestLockedConcurrentStress holds the reference implementation to the
+// identical contract: if an invariant ever fires on the lock-free deque
+// but not here, the bug is in the deque, not the test.
+func TestLockedConcurrentStress(t *testing.T) {
+	for _, thieves := range []int{1, 4} {
+		for seed := int64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("thieves=%d/seed=%d", thieves, seed), func(t *testing.T) {
+				stressDeque(t, NewLocked[int](4), seed, thieves, 2000)
+			})
+		}
+	}
+}
+
+// FuzzDequeConcurrent explores randomized concurrent schedules: the fuzzer
+// picks the owner-script seed and the thief count, the invariants stay
+// fixed. Complements FuzzDequeOps, which differentially fuzzes the
+// single-threaded semantics against the Locked reference.
+func FuzzDequeConcurrent(f *testing.F) {
+	f.Add(int64(1), uint8(2))
+	f.Add(int64(42), uint8(4))
+	f.Add(int64(-7), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, thieves uint8) {
+		n := int(thieves)%4 + 1
+		stressDeque(t, New[int](4), seed, n, 500)
+	})
+}

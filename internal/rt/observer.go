@@ -1,0 +1,114 @@
+package rt
+
+// ObsKind classifies a runtime scheduling transition reported to an
+// Observer.
+type ObsKind int
+
+// Observer event kinds, mirroring the DWS protocol vocabulary (§3.1–§3.3).
+const (
+	// ObsSleep: a worker went to sleep. Release says whether it was the
+	// voluntary T_SLEEP sleep (core slot released) or an eviction sleep.
+	ObsSleep ObsKind = iota
+	// ObsWake: a sleeping worker was transitioned to active.
+	ObsWake
+	// ObsClaim: the program claimed a free core in the allocation table.
+	ObsClaim
+	// ObsReclaim: the program reclaimed a home core from Victim.
+	ObsReclaim
+	// ObsEvict: a worker observed that its core was reclaimed and stopped.
+	ObsEvict
+	// ObsRelease: the program released a core slot in the table.
+	ObsRelease
+	// ObsCoordTick: one coordinator pass; carries the full §3.3
+	// observation (NB, NA, NW, NF, NR) and what the pass actually did
+	// (Woken, Claimed, Reclaimed).
+	ObsCoordTick
+	// ObsJoin: the program (re)joined the table lease; Epoch is the new
+	// generation.
+	ObsJoin
+	// ObsSweep: a sweep found Victim's lease expired; Cores slots were
+	// freed. Prog is the sweeping program (0 for the system sweeper).
+	ObsSweep
+	// ObsRunStart / ObsRunDone bracket one Program.Run. ObsRunDone carries
+	// the cumulative Spawned/Executed task counters, equal at every run
+	// boundary if no task was lost.
+	ObsRunStart
+	ObsRunDone
+)
+
+// String names the kind.
+func (k ObsKind) String() string {
+	switch k {
+	case ObsSleep:
+		return "sleep"
+	case ObsWake:
+		return "wake"
+	case ObsClaim:
+		return "claim"
+	case ObsReclaim:
+		return "reclaim"
+	case ObsEvict:
+		return "evict"
+	case ObsRelease:
+		return "release"
+	case ObsCoordTick:
+		return "coord-tick"
+	case ObsJoin:
+		return "join"
+	case ObsSweep:
+		return "sweep"
+	case ObsRunStart:
+		return "run-start"
+	case ObsRunDone:
+		return "run-done"
+	default:
+		return "other"
+	}
+}
+
+// ObsEvent is one typed scheduling transition. Only the fields relevant to
+// Kind are set; Core is -1 when no single core is involved.
+type ObsEvent struct {
+	Kind ObsKind `json:"kind"`
+	// Prog is the acting program's 1-based table ID (0 = the system).
+	Prog int32 `json:"prog"`
+	// Core is the core/worker slot involved, -1 if not applicable.
+	Core int `json:"core"`
+	// Victim is the displaced program: the borrower on ObsReclaim, the
+	// dead program on ObsSweep.
+	Victim int32 `json:"victim,omitempty"`
+	// Release distinguishes a voluntary sleep (true) from an eviction
+	// sleep on ObsSleep events.
+	Release bool `json:"release,omitempty"`
+	// Epoch is the lease generation on ObsJoin/ObsSweep.
+	Epoch int64 `json:"epoch,omitempty"`
+
+	// Coordinator observation (ObsCoordTick): NB queued tasks, NA active
+	// workers, NW = NB/NA wake target, NF free cores whose affined worker
+	// is sleeping, NR home cores held by a borrower whose affined worker
+	// is sleeping.
+	NB int `json:"nb,omitempty"`
+	NA int `json:"na,omitempty"`
+	NW int `json:"nw,omitempty"`
+	NF int `json:"nf,omitempty"`
+	NR int `json:"nr,omitempty"`
+	// Coordinator actions (ObsCoordTick): workers woken, free cores
+	// claimed, home cores reclaimed by this pass.
+	Woken     int `json:"woken,omitempty"`
+	Claimed   int `json:"claimed,omitempty"`
+	Reclaimed int `json:"reclaimed,omitempty"`
+
+	// Cores is the number of slots freed by an ObsSweep.
+	Cores int `json:"cores,omitempty"`
+	// Spawned/Executed are the program's cumulative task counters on
+	// ObsRunDone (root injections count as spawns).
+	Spawned  int64 `json:"spawned,omitempty"`
+	Executed int64 `json:"executed,omitempty"`
+}
+
+// Observer receives every scheduling transition of a System's programs.
+// It is called synchronously from worker and coordinator goroutines —
+// implementations must be fast, concurrency-safe, and must not call back
+// into the runtime. The invariant checker in internal/schedcheck is the
+// canonical implementation.
+type Observer func(ObsEvent)

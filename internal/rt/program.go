@@ -88,6 +88,15 @@ func (p *Program) Home() []int { return append([]int(nil), p.home...) }
 // Stats returns a snapshot of the program's scheduler counters.
 func (p *Program) Stats() Stats { return p.st.snapshot() }
 
+// emit reports a scheduling transition of this program to the system
+// observer (a no-op without one).
+func (p *Program) emit(ev ObsEvent) {
+	if p.sys.cfg.Observer != nil {
+		ev.Prog = p.id
+		p.sys.cfg.Observer(ev)
+	}
+}
+
 // start launches the worker goroutines (and coordinator) according to the
 // system policy and the paper's initial even allocation.
 func (p *Program) start() {
@@ -108,7 +117,8 @@ func (p *Program) start() {
 		// Join the lease (heartbeat stamped) before taking any core, so
 		// there is no window where the program occupies cores without a
 		// live lease a survivor could check.
-		p.sys.table.Join(p.id)
+		epoch := p.sys.table.Join(p.id)
+		p.emit(ObsEvent{Kind: ObsJoin, Core: -1, Epoch: epoch})
 		p.takeHome()
 		for _, w := range p.workers {
 			if isHome[w.id] {
@@ -156,10 +166,12 @@ func (p *Program) takeHome() {
 		case occ == coretable.Free:
 			if t.ClaimFree(c, p.id) {
 				p.st.claims.Add(1)
+				p.emit(ObsEvent{Kind: ObsClaim, Core: c})
 			}
 		default:
 			if t.Reclaim(c, p.id, occ) {
 				p.st.reclaims.Add(1)
+				p.emit(ObsEvent{Kind: ObsReclaim, Core: c, Victim: occ})
 			}
 		}
 	}
@@ -191,20 +203,24 @@ func (p *Program) Run(root Task) error {
 	rootFrame := &frame{done: make(chan struct{})}
 	rootFrame.pending.Store(1)
 	p.runActive.Store(true)
+	p.st.spawns.Add(1) // the root injection
+	p.emit(ObsEvent{Kind: ObsRunStart, Core: -1})
 	p.inject.Push(&taskNode{fn: root, parent: rootFrame})
 	p.regrabHome()
 
 	// Wait for completion; if every worker managed to fall asleep in the
 	// window before the injection became visible, re-wake the home slots.
-	tick := time.NewTicker(time.Millisecond)
+	tick := p.sys.cfg.Clock.NewTicker(time.Millisecond)
 	defer tick.Stop()
 	for {
 		select {
 		case <-rootFrame.done:
 			p.runActive.Store(false)
 			p.st.runs.Add(1)
+			p.emit(ObsEvent{Kind: ObsRunDone, Core: -1,
+				Spawned: p.st.spawns.Load(), Executed: p.st.execs.Load()})
 			return nil
-		case <-tick.C:
+		case <-tick.C():
 			if p.active.Load() == 0 {
 				p.regrabHome()
 			}
@@ -232,11 +248,13 @@ func (p *Program) regrabHome() {
 			case occ == coretable.Free:
 				if t.ClaimFree(c, p.id) {
 					p.st.claims.Add(1)
+					p.emit(ObsEvent{Kind: ObsClaim, Core: c})
 					p.wake(p.workers[c])
 				}
 			default:
 				if t.Reclaim(c, p.id, occ) {
 					p.st.reclaims.Add(1)
+					p.emit(ObsEvent{Kind: ObsReclaim, Core: c, Victim: occ})
 					p.wake(p.workers[c])
 				}
 			}
@@ -252,6 +270,7 @@ func (p *Program) wake(w *worker) bool {
 	}
 	p.active.Add(1)
 	p.st.wakes.Add(1)
+	p.emit(ObsEvent{Kind: ObsWake, Core: w.id})
 	w.wakeCh <- struct{}{}
 	return true
 }
@@ -266,12 +285,17 @@ func (p *Program) Close() {
 	close(p.coordStop)
 	// Unblock sleeping workers so they observe the shutdown flag. A worker
 	// racing into park() can have its state still "active" here and miss a
-	// single wake, so retry until every goroutine has exited.
+	// single wake, so retry until every goroutine has exited. The retry
+	// timer is created once and re-armed: a bare time.After here would
+	// allocate (and leak until expiry) one timer per iteration when the
+	// loop spins.
 	done := make(chan struct{})
 	go func() {
 		p.wg.Wait()
 		close(done)
 	}()
+	retry := p.sys.cfg.Clock.NewTimer(time.Millisecond)
+	defer retry.Stop()
 waitLoop:
 	for {
 		for _, w := range p.workers {
@@ -280,12 +304,15 @@ waitLoop:
 		select {
 		case <-done:
 			break waitLoop
-		case <-time.After(time.Millisecond):
+		case <-retry.C():
+			retry.Reset(time.Millisecond)
 		}
 	}
 	if p.sys.cfg.Policy == DWS {
 		for c := 0; c < p.sys.cfg.Cores; c++ {
-			p.sys.table.Release(c, p.id)
+			if p.sys.table.Release(c, p.id) {
+				p.emit(ObsEvent{Kind: ObsRelease, Core: c})
+			}
 		}
 		// Clean departure: drop the lease so survivors never sweep (and
 		// never double-free) this program's ID.
@@ -302,13 +329,13 @@ waitLoop:
 // path for programs that died without releasing (kill -9, OOM).
 func (p *Program) coordinate() {
 	defer p.wg.Done()
-	ticker := time.NewTicker(p.sys.cfg.CoordPeriod)
+	ticker := p.sys.cfg.Clock.NewTicker(p.sys.cfg.CoordPeriod)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-p.coordStop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			if p.sys.cfg.Policy == DWS {
 				t := p.sys.table
 				if !p.beatsOff.Load() {
@@ -319,7 +346,7 @@ func (p *Program) coordinate() {
 						p.st.deadSweeps.Add(1)
 						p.st.coresRecovered.Add(int64(e.Cores))
 					}
-					p.sys.noteSwept(dead)
+					p.sys.noteSwept(p.id, dead)
 				}
 			}
 			p.coordTick()
@@ -350,23 +377,49 @@ func (p *Program) coordTick() {
 		return
 	}
 
+	ev := ObsEvent{Kind: ObsCoordTick, Core: -1, NB: nb, NA: na, NW: nw}
+
 	if p.sys.cfg.Policy == DWSNC {
 		for _, w := range p.workers {
 			if nw == 0 {
-				return
+				break
 			}
 			if w.state.Load() == stateSleeping && p.wake(w) {
 				nw--
+				ev.Woken++
 			}
 		}
+		p.emit(ev)
 		return
 	}
 
-	// DWS: case 1 — free slots first.
+	// DWS: snapshot the observation first so the emitted event carries the
+	// (N_f, N_r) tuple the three-case rule was applied to; the action loops
+	// below re-check every condition through the CAS protocol, so a stale
+	// snapshot entry only costs a skipped wake.
 	t := p.sys.table
+	var frees []int
 	for _, c := range shuffled(p.coordRNG(), t.FreeCores()) {
+		if p.workers[c].state.Load() == stateSleeping {
+			frees = append(frees, c)
+		}
+	}
+	ev.NF = len(frees)
+	var recls []int
+	for _, c := range p.home {
+		if p.workers[c].state.Load() != stateSleeping {
+			continue
+		}
+		if occ := t.Occupant(c); occ != p.id && occ != coretable.Free {
+			recls = append(recls, c)
+		}
+	}
+	ev.NR = len(recls)
+
+	// Case 1 — free slots first.
+	for _, c := range frees {
 		if nw == 0 {
-			return
+			break
 		}
 		w := p.workers[c]
 		if w.state.Load() != stateSleeping {
@@ -374,35 +427,47 @@ func (p *Program) coordTick() {
 		}
 		if t.ClaimFree(c, p.id) {
 			p.st.claims.Add(1)
+			p.emit(ObsEvent{Kind: ObsClaim, Core: c})
+			ev.Claimed++
 			if p.wake(w) {
 				nw--
+				ev.Woken++
 			} else {
 				// The worker raced away; return the slot.
-				t.Release(c, p.id)
+				if t.Release(c, p.id) {
+					p.emit(ObsEvent{Kind: ObsRelease, Core: c})
+				}
 			}
 		}
 	}
 	// Cases 2 and 3 — reclaim home slots from their borrowers, never more
 	// than N_r and never slots other programs rightfully hold.
-	for _, c := range p.home {
-		if nw == 0 {
-			return
-		}
-		w := p.workers[c]
-		if w.state.Load() != stateSleeping {
-			continue
-		}
-		occ := t.Occupant(c)
-		if occ == p.id || occ == coretable.Free {
-			continue
-		}
-		if t.Reclaim(c, p.id, occ) {
-			p.st.reclaims.Add(1)
-			if p.wake(w) {
-				nw--
+	// FaultSkipReclaim drops these cases for invariant-checker tests.
+	if !p.sys.cfg.FaultSkipReclaim {
+		for _, c := range recls {
+			if nw == 0 {
+				break
+			}
+			w := p.workers[c]
+			if w.state.Load() != stateSleeping {
+				continue
+			}
+			occ := t.Occupant(c)
+			if occ == p.id || occ == coretable.Free {
+				continue
+			}
+			if t.Reclaim(c, p.id, occ) {
+				p.st.reclaims.Add(1)
+				p.emit(ObsEvent{Kind: ObsReclaim, Core: c, Victim: occ})
+				ev.Reclaimed++
+				if p.wake(w) {
+					nw--
+					ev.Woken++
+				}
 			}
 		}
 	}
+	p.emit(ev)
 }
 
 // coordRNG returns the coordinator's RNG (lazily created; the coordinator

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"dws/internal/coretable"
+	"dws/internal/vclock"
 )
 
 // Policy selects the scheduling strategy for all programs of a System.
@@ -110,6 +111,24 @@ type Config struct {
 	// its K() must equal Cores. The caller keeps ownership: System.Close
 	// does not close an externally provided table.
 	Table *coretable.Table
+	// Clock is the runtime's time source: coordinator period, lease
+	// heartbeats/TTL, Run's re-wake fallback and Close's retry wait all go
+	// through it. nil defaults to the real clock; tests substitute a
+	// vclock.Fake to drive scheduling deterministically. Tables the System
+	// creates itself also stamp lease beats from this clock; an external
+	// Table keeps its own time source (it is shared across processes).
+	Clock vclock.Clock
+	// Observer, when non-nil, receives a typed ObsEvent for every
+	// scheduling transition (sleeps, wakes, claims, reclaims, evictions,
+	// releases, coordinator passes, lease joins/sweeps, run boundaries).
+	// The invariant checker in internal/schedcheck plugs in here.
+	Observer Observer
+	// FaultSkipReclaim is a fault-injection hook for correctness tests:
+	// when set, the coordinator skips the §3.3 reclaim cases (2 and 3)
+	// entirely, i.e. it never takes borrowed home cores back. The
+	// schedcheck invariant checker must catch the resulting under-waking;
+	// see also Program.FailBeats.
+	FaultSkipReclaim bool
 }
 
 func (c *Config) validate() error {
@@ -142,6 +161,9 @@ func (c *Config) validate() error {
 			return fmt.Errorf("rt: external table covers %d cores, want %d",
 				c.Table.K(), c.Cores)
 		}
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
 	}
 	return nil
 }
@@ -186,11 +208,22 @@ func NewSystem(cfg Config) (*System, error) {
 		} else {
 			s.table = coretable.NewMem(cfg.Cores)
 			s.ownTable = true
+			// Leases of a table we own are stamped from our clock, so a
+			// fake clock controls lease expiry too.
+			clk := cfg.Clock
+			s.table.SetNowFunc(func() int64 { return clk.Now().UnixNano() })
 		}
 		s.sweepWG.Add(1)
 		go s.sweeper()
 	}
 	return s, nil
+}
+
+// emit reports a system-level event to the observer.
+func (s *System) emit(ev ObsEvent) {
+	if s.cfg.Observer != nil {
+		s.cfg.Observer(ev)
+	}
 }
 
 // sweeper is the system-level dead-lease collector: every coordinator
@@ -201,22 +234,22 @@ func NewSystem(cfg Config) (*System, error) {
 // counted exactly once per table.
 func (s *System) sweeper() {
 	defer s.sweepWG.Done()
-	ticker := time.NewTicker(s.cfg.CoordPeriod)
+	ticker := s.cfg.Clock.NewTicker(s.cfg.CoordPeriod)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-s.sweepStop:
 			return
-		case <-ticker.C:
-			s.noteSwept(s.table.SweepExpired(0, s.cfg.LeaseTTL))
+		case <-ticker.C():
+			s.noteSwept(0, s.table.SweepExpired(0, s.cfg.LeaseTTL))
 		}
 	}
 }
 
 // noteSwept folds one sweep's findings into the system recovery counters
-// and invokes the dead-program handler. Called by the system sweeper and
-// by every program coordinator.
-func (s *System) noteSwept(dead []coretable.Expired) {
+// and invokes the dead-program handler. Called by the system sweeper
+// (sweeper = 0) and by every program coordinator (its table ID).
+func (s *System) noteSwept(sweeper int32, dead []coretable.Expired) {
 	if len(dead) == 0 {
 		return
 	}
@@ -226,6 +259,8 @@ func (s *System) noteSwept(dead []coretable.Expired) {
 	for _, e := range dead {
 		s.deadSweeps.Add(1)
 		s.coresRecovered.Add(int64(e.Cores))
+		s.emit(ObsEvent{Kind: ObsSweep, Prog: sweeper, Core: -1,
+			Victim: e.PID, Epoch: e.Epoch, Cores: e.Cores})
 		if h != nil {
 			h(int(e.PID)-1, e.PID, e.Cores)
 		}
@@ -369,6 +404,11 @@ type Stats struct {
 	// DeadSweeps counts dead co-runner leases this program's coordinator
 	// swept; CoresRecovered the cores those sweeps freed (DWS only).
 	DeadSweeps, CoresRecovered int64
+	// Spawns counts tasks queued (Ctx.Spawn plus one root injection per
+	// run); Execs counts tasks executed. They are equal at every run
+	// boundary unless a task was lost — the conservation invariant the
+	// schedcheck checker asserts.
+	Spawns, Execs int64
 }
 
 // progStats holds the live atomic counters behind Stats.
@@ -378,6 +418,7 @@ type progStats struct {
 	claims, reclaims           atomic.Int64
 	runs                       atomic.Int64
 	deadSweeps, coresRecovered atomic.Int64
+	spawns, execs              atomic.Int64
 }
 
 func (ps *progStats) snapshot() Stats {
@@ -392,5 +433,7 @@ func (ps *progStats) snapshot() Stats {
 		Runs:           ps.runs.Load(),
 		DeadSweeps:     ps.deadSweeps.Load(),
 		CoresRecovered: ps.coresRecovered.Load(),
+		Spawns:         ps.spawns.Load(),
+		Execs:          ps.execs.Load(),
 	}
 }

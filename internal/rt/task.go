@@ -68,6 +68,7 @@ func (c *Ctx) Spawn(fn Task) {
 		return
 	}
 	c.f.pending.Add(1)
+	c.w.p.st.spawns.Add(1)
 	c.w.deque.Push(&taskNode{fn: fn, parent: &c.f})
 }
 
@@ -97,6 +98,7 @@ func (c *Ctx) Sync() {
 // execute runs one task to completion, including its implicit final sync,
 // then reports to the parent frame.
 func (w *worker) execute(t *taskNode) {
+	w.p.st.execs.Add(1)
 	ctx := &Ctx{w: w}
 	t.fn(ctx)
 	ctx.Sync()

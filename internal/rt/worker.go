@@ -66,6 +66,7 @@ func (w *worker) loop() {
 		if cfg.Policy == DWS && p.sys.table.Occupant(w.id) != p.id {
 			p.sys.table.AckEviction(w.id)
 			p.st.evictions.Add(1)
+			p.emit(ObsEvent{Kind: ObsEvict, Core: w.id})
 			w.park(false)
 			continue
 		}
@@ -123,9 +124,15 @@ func (w *worker) park(release bool) bool {
 		w.failedSteals = 0 // fresh drought window before the next attempt
 		return false
 	}
+	// Emit before the state store: any ObsWake for this worker is only
+	// possible after the store (wake CASes sleeping→active), so the
+	// observer sees this sleep strictly before the matching wake.
+	p.emit(ObsEvent{Kind: ObsSleep, Core: w.id, Release: release})
 	w.state.Store(stateSleeping)
 	if release && p.sys.cfg.Policy == DWS {
-		p.sys.table.Release(w.id, p.id)
+		if p.sys.table.Release(w.id, p.id) {
+			p.emit(ObsEvent{Kind: ObsRelease, Core: w.id})
+		}
 	}
 	p.st.sleeps.Add(1)
 	w.block()

@@ -1,0 +1,90 @@
+package schedcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// artifactDir returns where a failing conformance run dumps its JSONL
+// repro artifact: SCHEDCHECK_ARTIFACT_DIR if set (the CI job uploads it),
+// else the test's temp dir.
+func artifactDir(t *testing.T) string {
+	if d := os.Getenv("SCHEDCHECK_ARTIFACT_DIR"); d != "" {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatalf("artifact dir: %v", err)
+		}
+		return d
+	}
+	return t.TempDir()
+}
+
+func checkReport(t *testing.T, rep *Report, label string) {
+	t.Helper()
+	if rep.Pass() {
+		return
+	}
+	path := filepath.Join(artifactDir(t), "conformance-"+label+".jsonl")
+	if err := rep.DumpArtifact(path); err != nil {
+		t.Logf("artifact dump failed: %v", err)
+	} else {
+		t.Logf("divergence artifact written to %s", path)
+	}
+	for _, d := range rep.Divergences() {
+		t.Errorf("%s/%s [%s]: %s", d.Scenario, d.Policy, d.Check, d.Detail)
+	}
+}
+
+// TestConformanceDefaultScenarios is the sim↔live oracle acceptance test:
+// every default workload shape, replayed through the simulator and the
+// virtual-clock live runtime under all four policies, must agree on the
+// behavioural contract (completion, capability matrix, makespan shares
+// where the policy pins them, ranking where the sim is decisive, the DWS
+// exchange direction) with zero live invariant violations.
+func TestConformanceDefaultScenarios(t *testing.T) {
+	seed := int64(1)
+	if s := os.Getenv("SCHEDCHECK_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SCHEDCHECK_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	rep, err := RunConformance(DefaultScenarios(), ConformancePolicies, seed)
+	if err != nil {
+		t.Fatalf("RunConformance: %v", err)
+	}
+	if got, want := len(rep.Reports), len(DefaultScenarios())*len(ConformancePolicies); got != want {
+		t.Fatalf("ran %d scenario×policy cells, want %d", got, want)
+	}
+	checkReport(t, rep, "seed"+strconv.FormatInt(seed, 10))
+}
+
+// TestConformanceSeedSweep replays the oracle across many seeds; the CI
+// schedcheck job sets SCHEDCHECK_SEEDS="1 2 3 ..." to run 10 of them.
+// Without the env var it covers a token two extra seeds so the sweep path
+// itself stays tested.
+func TestConformanceSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	seedsEnv := os.Getenv("SCHEDCHECK_SEEDS")
+	if seedsEnv == "" {
+		seedsEnv = "2 3"
+	}
+	for _, f := range strings.Fields(seedsEnv) {
+		seed, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			t.Fatalf("bad seed %q in SCHEDCHECK_SEEDS: %v", f, err)
+		}
+		t.Run("seed"+f, func(t *testing.T) {
+			rep, err := RunConformance(DefaultScenarios(), ConformancePolicies, seed)
+			if err != nil {
+				t.Fatalf("RunConformance: %v", err)
+			}
+			checkReport(t, rep, "seed"+f)
+		})
+	}
+}

@@ -1,0 +1,214 @@
+// Tier-2 perf baseline: a gated generator that runs a fixed battery of
+// kernel and deque micro-benchmarks through testing.Benchmark and writes
+// the results as BENCH_schedcheck.json, seeding the perf trajectory that
+// CI tracks across PRs. It is a no-op test unless BENCH_SCHEDCHECK_OUT
+// names an output path:
+//
+//	BENCH_SCHEDCHECK_OUT=BENCH_schedcheck.json go test -run TestWriteSchedcheckBench .
+//
+// The battery deliberately uses small fixed problem sizes so one pass
+// stays in the seconds range on a 1-core CI runner; the numbers are for
+// trend comparison between commits on the same runner class, not for
+// absolute claims.
+package dws_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dws/internal/deque"
+	"dws/internal/kernels"
+	"dws/internal/rt"
+)
+
+// benchEntry is one benchmark's headline numbers in a stable, diffable
+// shape. NsPerOp is the primary trend metric.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type benchFile struct {
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Entries   []benchEntry `json:"entries"`
+}
+
+func runEntry(name string, fn func(b *testing.B)) benchEntry {
+	r := testing.Benchmark(fn)
+	return benchEntry{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// TestWriteSchedcheckBench generates the BENCH_schedcheck.json baseline.
+// Gated on BENCH_SCHEDCHECK_OUT so a plain `go test ./...` never pays
+// for a benchmark pass.
+func TestWriteSchedcheckBench(t *testing.T) {
+	out := os.Getenv("BENCH_SCHEDCHECK_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SCHEDCHECK_OUT=<path> to generate the perf baseline")
+	}
+
+	const (
+		fftN   = 1 << 12
+		sortN  = 1 << 14
+		matN   = 64
+		heatW  = 128
+		heatH  = 128
+		heatIt = 20
+	)
+
+	battery := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"kernels/fft-seq-4096", func(b *testing.B) {
+			src := kernels.RandComplex(fftN, 1)
+			buf := make([]complex128, fftN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				kernels.FFTSeq(buf)
+			}
+		}},
+		{"kernels/mergesort-seq-16384", func(b *testing.B) {
+			src := kernels.RandSlice(sortN, 1)
+			buf := make([]int32, sortN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				kernels.MergesortSeq(buf)
+			}
+		}},
+		{"kernels/cholesky-seq-64", func(b *testing.B) {
+			src := kernels.SPDMatrix(matN, 1)
+			buf := make([]float64, len(src))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				if !kernels.CholeskySeq(buf, matN) {
+					b.Fatal("cholesky failed on SPD input")
+				}
+			}
+		}},
+		{"kernels/lu-seq-64", func(b *testing.B) {
+			src := kernels.DiagonallyDominant(matN, 1)
+			buf := make([]float64, len(src))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				if !kernels.LUSeq(buf, matN) {
+					b.Fatal("lu failed on diagonally dominant input")
+				}
+			}
+		}},
+		{"kernels/ge-seq-64", func(b *testing.B) {
+			a := kernels.DiagonallyDominant(matN, 1)
+			rhs := kernels.RandMatrix(matN, 2)[:matN]
+			abuf := make([]float64, len(a))
+			bbuf := make([]float64, matN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(abuf, a)
+				copy(bbuf, rhs)
+				if kernels.GESeq(abuf, bbuf, matN) == nil {
+					b.Fatal("ge failed on diagonally dominant input")
+				}
+			}
+		}},
+		{"kernels/heat-seq-128x128x20", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := kernels.NewGrid(heatW, heatH)
+				b.StartTimer()
+				kernels.HeatSeq(g, heatIt)
+			}
+		}},
+		{"kernels/fft-rt-dws-4096", func(b *testing.B) {
+			sys, err := rt.NewSystem(rt.Config{
+				Cores: 4, Programs: 1, Policy: rt.DWS,
+				TSleep: 2, CoordPeriod: 2 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatalf("NewSystem: %v", err)
+			}
+			defer sys.Close()
+			p, err := sys.NewProgram("bench")
+			if err != nil {
+				b.Fatalf("NewProgram: %v", err)
+			}
+			src := kernels.RandComplex(fftN, 1)
+			buf := make([]complex128, fftN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				if err := p.Run(kernels.FFTTask(buf)); err != nil {
+					b.Fatalf("Run: %v", err)
+				}
+			}
+		}},
+		{"deque/push-pop", func(b *testing.B) {
+			d := deque.New[int](8)
+			v := 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Push(&v)
+				d.Pop()
+			}
+		}},
+		{"deque/push-steal", func(b *testing.B) {
+			d := deque.New[int](8)
+			v := 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Push(&v)
+				d.Steal()
+			}
+		}},
+		{"deque/locked-push-pop", func(b *testing.B) {
+			d := deque.NewLocked[int](8)
+			v := 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Push(&v)
+				d.Pop()
+			}
+		}},
+	}
+
+	f := benchFile{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, bb := range battery {
+		e := runEntry(bb.name, bb.fn)
+		f.Entries = append(f.Entries, e)
+		t.Logf("%-32s %10d iters  %12.1f ns/op  %6d B/op  %4d allocs/op",
+			e.Name, e.Iters, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("write %s: %v", out, err)
+	}
+	fmt.Printf("wrote %d benchmark entries to %s\n", len(f.Entries), out)
+}
