@@ -1,0 +1,63 @@
+// benchgate compares a fresh benchmark run against a committed baseline
+// and exits non-zero on regressions — the CI tier-2 perf gate.
+//
+//	benchgate -base BENCH_hotpath.json -cur BENCH_hotpath.ci.json [-ns-tol 0.25]
+//
+// An entry regresses when its ns/op exceeds the baseline by more than
+// -ns-tol (relative), or when its allocs/op exceeds the baseline at all:
+// timing is noisy across runners, allocation counts are not. Benchmarks
+// present only in the current run pass (new benchmarks need no baseline
+// yet); baseline entries missing from the run fail the gate so renames
+// cannot silently un-gate themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dws/internal/bench"
+)
+
+func main() {
+	var (
+		basePath = flag.String("base", "BENCH_hotpath.json", "committed baseline JSON")
+		curPath  = flag.String("cur", "", "fresh benchmark run JSON (required)")
+		nsTol    = flag.Float64("ns-tol", 0.25, "relative ns/op tolerance (0.25 = +25%)")
+	)
+	flag.Parse()
+	if *curPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -cur is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := bench.LoadBenchFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := bench.LoadBenchFile(*curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("benchgate: %s vs %s (ns/op tolerance %+.0f%%, allocs/op tolerance 0)\n\n",
+		*basePath, *curPath, 100**nsTol)
+	fmt.Print(bench.FormatComparison(base, cur, *nsTol))
+
+	regs, missing := bench.CompareBaseline(base, cur, *nsTol)
+	if len(regs) == 0 && len(missing) == 0 {
+		fmt.Printf("\nbenchgate: PASS (%d entries gated)\n", len(base.Entries))
+		return
+	}
+	fmt.Println()
+	for _, r := range regs {
+		fmt.Printf("benchgate: FAIL %s\n", r)
+	}
+	for _, m := range missing {
+		fmt.Printf("benchgate: FAIL %s: missing from current run\n", m)
+	}
+	os.Exit(1)
+}

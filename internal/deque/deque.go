@@ -14,6 +14,12 @@ package deque
 
 import "sync/atomic"
 
+// cachePad separates fields written by different goroutines onto distinct
+// cache lines. 128 bytes covers the two-line destructive-interference
+// granularity of modern x86 (the adjacent-line prefetcher pairs lines), the
+// same span the Go runtime pads its own per-P state by.
+const cachePad = 128
+
 // Deque is a lock-free Chase–Lev work-stealing deque of *T.
 //
 // The owner goroutine may call Push and Pop. Any goroutine may call Steal
@@ -21,9 +27,16 @@ import "sync/atomic"
 // Work-Stealing Deque" (SPAA 2005); retired buffers are reclaimed by the
 // garbage collector, and all element slots are atomic pointers so the
 // structure is race-detector clean.
+//
+// top (CASed by thieves) and bottom (written by the owner on every
+// push/pop) live on separate cache lines: without the padding every steal
+// CAS invalidates the owner's line and every push bounces the thieves',
+// which measurably taxes the owner's fast path under steal pressure.
 type Deque[T any] struct {
 	top    atomic.Int64 // next slot thieves steal from
+	_      [cachePad - 8]byte
 	bottom atomic.Int64 // next slot the owner pushes to
+	_      [cachePad - 8]byte
 	buf    atomic.Pointer[ring[T]]
 }
 

@@ -388,3 +388,157 @@ func BenchmarkStealContended(b *testing.B) {
 	done.Store(true)
 	wg.Wait()
 }
+
+// TestLenNeverNegative pins the Len clamp: bottom can transiently sit
+// below top (Pop on an empty deque stores bottom−1 before restoring it;
+// a racing thief can advance top between Len's two loads), and Len must
+// report 0 in that window, never a negative count. White-box: force the
+// inverted ordering directly.
+func TestLenNeverNegative(t *testing.T) {
+	d := New[int](8)
+	d.top.Store(5)
+	d.bottom.Store(3) // mid-Pop snapshot: bottom < top
+	if got := d.Len(); got != 0 {
+		t.Fatalf("Len with bottom<top = %d, want 0", got)
+	}
+	if !d.Empty() {
+		t.Fatal("Empty with bottom<top = false, want true")
+	}
+	d.bottom.Store(5)
+	if got := d.Len(); got != 0 {
+		t.Fatalf("Len on balanced deque = %d, want 0", got)
+	}
+}
+
+// TestLenNeverNegativeConcurrent hammers Len from a reader while the
+// owner push/pops against a thief, asserting every snapshot is in
+// [0, pushed-high-water].
+func TestLenNeverNegativeConcurrent(t *testing.T) {
+	d := New[int](8)
+	const iters = 20000
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // thief
+		defer wg.Done()
+		for !stop.Load() {
+			d.Steal()
+		}
+	}()
+	go func() { // Len reader
+		defer wg.Done()
+		for !stop.Load() {
+			if n := d.Len(); n < 0 || n > 4 {
+				t.Errorf("Len = %d, want in [0,4]", n)
+				return
+			}
+		}
+	}()
+	v := 1
+	for i := 0; i < iters; i++ {
+		// Keep at most 4 queued so the reader can bound its check, and
+		// Pop to empty so the transient bottom<top window is exercised.
+		for j := 0; j < 4; j++ {
+			d.Push(&v)
+		}
+		for j := 0; j < 5; j++ {
+			d.Pop()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestBoundedFIFO(t *testing.T) {
+	q := NewBounded[int](3)
+	vals := []int{1, 2, 3, 4}
+	for i := 0; i < 3; i++ {
+		if !q.TryPush(&vals[i]) {
+			t.Fatalf("TryPush #%d = false, want true", i)
+		}
+	}
+	if q.TryPush(&vals[3]) {
+		t.Fatal("TryPush on full ring = true, want false")
+	}
+	if got := q.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		got := q.TryPop()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("TryPop = %v, want %d", got, vals[i])
+		}
+	}
+	if got := q.TryPop(); got != nil {
+		t.Fatalf("TryPop on empty = %v, want nil", got)
+	}
+	// Wrap-around: head has advanced past the end.
+	for i := 0; i < 5; i++ {
+		if !q.TryPush(&vals[i%4]) {
+			t.Fatalf("wrap TryPush failed at %d", i)
+		}
+		if got := q.TryPop(); got == nil || *got != vals[i%4] {
+			t.Fatalf("wrap TryPop = %v, want %d", got, vals[i%4])
+		}
+	}
+}
+
+func TestBoundedPushNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TryPush(nil) did not panic")
+		}
+	}()
+	NewBounded[int](4).TryPush(nil)
+}
+
+// TestBoundedConcurrent drives the ring from several producers and
+// consumers at once and checks conservation: every element pushed is
+// popped exactly once or still queued at the end.
+func TestBoundedConcurrent(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 5000
+	)
+	q := NewBounded[int](64)
+	var popped atomic.Int64
+	var rejected atomic.Int64
+	var wg sync.WaitGroup
+	var prodDone atomic.Int64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer prodDone.Add(1)
+			vals := make([]int, perProd)
+			for i := range vals {
+				vals[i] = p*perProd + i
+				if !q.TryPush(&vals[i]) {
+					rejected.Add(1)
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if q.TryPop() != nil {
+					popped.Add(1)
+					continue
+				}
+				if prodDone.Load() == producers && q.Len() == 0 {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := popped.Load() + rejected.Load()
+	if total != producers*perProd {
+		t.Fatalf("popped %d + rejected %d = %d, want %d",
+			popped.Load(), rejected.Load(), total, producers*perProd)
+	}
+}

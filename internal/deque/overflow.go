@@ -1,0 +1,77 @@
+package deque
+
+import "sync"
+
+// Bounded is a fixed-capacity multi-producer/multi-consumer ring of *T.
+//
+// It is the overflow side of an owner-local free-list scheme: the common
+// case never touches it, so a plain mutex is the right tool — the lock is
+// uncontended almost always, and a failed TryPush/TryPop is cheap. Unlike
+// Deque it may be pushed and popped from any goroutine.
+//
+// The zero value is not usable; construct with NewBounded.
+type Bounded[T any] struct {
+	mu   sync.Mutex
+	elts []*T
+	head int // index of the oldest element
+	n    int // number of queued elements
+}
+
+// NewBounded returns an empty ring holding at most capacity elements.
+// Capacities below 1 are rounded up to 1.
+func NewBounded[T any](capacity int) *Bounded[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Bounded[T]{elts: make([]*T, capacity)}
+}
+
+// TryPush appends v if the ring has room and reports whether it did.
+// v must not be nil: nil is the "empty" sentinel of TryPop.
+func (q *Bounded[T]) TryPush(v *T) bool {
+	if v == nil {
+		panic("deque: TryPush(nil)")
+	}
+	q.mu.Lock()
+	if q.n == len(q.elts) {
+		q.mu.Unlock()
+		return false
+	}
+	i := q.head + q.n
+	if i >= len(q.elts) {
+		i -= len(q.elts)
+	}
+	q.elts[i] = v
+	q.n++
+	q.mu.Unlock()
+	return true
+}
+
+// TryPop removes and returns the oldest element, or nil if the ring was
+// empty.
+func (q *Bounded[T]) TryPop() *T {
+	q.mu.Lock()
+	if q.n == 0 {
+		q.mu.Unlock()
+		return nil
+	}
+	v := q.elts[q.head]
+	q.elts[q.head] = nil
+	q.head++
+	if q.head == len(q.elts) {
+		q.head = 0
+	}
+	q.n--
+	q.mu.Unlock()
+	return v
+}
+
+// Len reports the number of queued elements.
+func (q *Bounded[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Cap reports the fixed capacity.
+func (q *Bounded[T]) Cap() int { return len(q.elts) }

@@ -64,23 +64,26 @@ func merge(a []int32, mid int, buf []int32) {
 // MergesortTask returns a task sorting a in place: recursive halves are
 // spawned in parallel; each merge is sequential, which caps parallelism
 // near the root exactly like the paper's p-8 (and the simulator profile).
+// The merge buffer and the closure tree are built once, so re-running
+// the task allocates nothing (run it on one program at a time).
 func MergesortTask(a []int32) rt.Task {
 	buf := make([]int32, len(a))
-	var par func(a, buf []int32) rt.Task
-	par = func(a, buf []int32) rt.Task {
+	var build func(a, buf []int32) rt.Task
+	build = func(a, buf []int32) rt.Task {
+		if len(a) <= msCutoff {
+			return func(*rt.Ctx) { msSeq(a, buf) }
+		}
+		mid := len(a) / 2
+		left := build(a[:mid], buf[:mid])
+		right := build(a[mid:], buf[mid:])
 		return func(c *rt.Ctx) {
-			if len(a) <= msCutoff {
-				msSeq(a, buf)
-				return
-			}
-			mid := len(a) / 2
-			c.Spawn(par(a[:mid], buf[:mid]))
-			c.Spawn(par(a[mid:], buf[mid:]))
+			c.Spawn(left)
+			c.Spawn(right)
 			c.Sync()
 			merge(a, mid, buf)
 		}
 	}
-	return par(a, buf)
+	return build(a, buf)
 }
 
 // IsSorted reports whether a is non-decreasing.

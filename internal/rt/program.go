@@ -28,6 +28,17 @@ type Program struct {
 	// stealable deque.
 	inject *deque.Locked[taskNode]
 
+	// nodeOverflow rebalances recycled taskNodes between workers: a
+	// stolen task finishes (and recycles its node) on the thief, so a
+	// spawn-heavy worker's free-list drains while the thieves' fill; the
+	// ring routes the surplus back (pool.go).
+	nodeOverflow *deque.Bounded[taskNode]
+
+	// obs caches sys.cfg.Observer so the emit fast path is a single
+	// nil-check on the program itself, not a pointer chase through the
+	// system config.
+	obs Observer
+
 	active    atomic.Int64
 	runActive atomic.Bool
 	shutdown  atomic.Bool
@@ -43,14 +54,17 @@ type Program struct {
 
 func newProgram(s *System, name string, idx int) *Program {
 	p := &Program{
-		sys:       s,
-		name:      name,
-		idx:       idx,
-		id:        int32(idx + 1),
-		home:      coretable.HomeCores(s.cfg.Cores, s.cfg.Programs, idx),
-		inject:    deque.NewLocked[taskNode](8),
-		coordStop: make(chan struct{}),
+		sys:          s,
+		name:         name,
+		idx:          idx,
+		id:           int32(idx + 1),
+		home:         coretable.HomeCores(s.cfg.Cores, s.cfg.Programs, idx),
+		inject:       deque.NewLocked[taskNode](8),
+		nodeOverflow: deque.NewBounded[taskNode](nodeOverflowCap),
+		obs:          s.cfg.Observer,
+		coordStop:    make(chan struct{}),
 	}
+	p.st.init(s.cfg.Cores)
 	for c := 0; c < s.cfg.Cores; c++ {
 		p.workers = append(p.workers, newWorker(p, c))
 	}
@@ -89,11 +103,12 @@ func (p *Program) Home() []int { return append([]int(nil), p.home...) }
 func (p *Program) Stats() Stats { return p.st.snapshot() }
 
 // emit reports a scheduling transition of this program to the system
-// observer (a no-op without one).
+// observer (a no-op without one). The nil-check on the cached observer is
+// the entire unobserved cost.
 func (p *Program) emit(ev ObsEvent) {
-	if p.sys.cfg.Observer != nil {
+	if p.obs != nil {
 		ev.Prog = p.id
-		p.sys.cfg.Observer(ev)
+		p.obs(ev)
 	}
 }
 
@@ -203,7 +218,7 @@ func (p *Program) Run(root Task) error {
 	rootFrame := &frame{done: make(chan struct{})}
 	rootFrame.pending.Store(1)
 	p.runActive.Store(true)
-	p.st.spawns.Add(1) // the root injection
+	p.st.rootSpawns.Add(1) // the root injection
 	p.emit(ObsEvent{Kind: ObsRunStart, Core: -1})
 	p.inject.Push(&taskNode{fn: root, parent: rootFrame})
 	p.regrabHome()
@@ -218,7 +233,7 @@ func (p *Program) Run(root Task) error {
 			p.runActive.Store(false)
 			p.st.runs.Add(1)
 			p.emit(ObsEvent{Kind: ObsRunDone, Core: -1,
-				Spawned: p.st.spawns.Load(), Executed: p.st.execs.Load()})
+				Spawned: p.st.spawns(), Executed: p.st.execs()})
 			return nil
 		case <-tick.C():
 			if p.active.Load() == 0 {

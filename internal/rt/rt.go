@@ -411,29 +411,73 @@ type Stats struct {
 	Spawns, Execs int64
 }
 
-// progStats holds the live atomic counters behind Stats.
+// workerStats is one worker's shard of the program counters. Every
+// counter a worker bumps on its task/steal path lives in its own shard so
+// concurrent workers never write the same cache line; the shards are
+// padded to the 128-byte destructive-interference span (two lines — the
+// x86 adjacent-line prefetcher pairs them) because they sit adjacent in
+// one slice. The fields stay atomic for Stats() readers — an uncontended
+// atomic add on an exclusively held line costs single-digit nanoseconds;
+// it is the cross-core line bouncing the sharding removes.
+type workerStats struct {
+	spawns, execs        atomic.Int64
+	steals, failedSteals atomic.Int64
+	sleeps, evictions    atomic.Int64
+	_                    [128 - 6*8]byte
+}
+
+// progStats holds the live counters behind Stats: one padded shard per
+// worker for worker-path counters, plus a program-level block for
+// counters only the coordinator, Run, or sweep paths touch.
 type progStats struct {
-	steals, failedSteals       atomic.Int64
-	sleeps, wakes, evictions   atomic.Int64
+	w []workerStats
+
+	rootSpawns                 atomic.Int64 // Run's root injections
+	wakes                      atomic.Int64
 	claims, reclaims           atomic.Int64
 	runs                       atomic.Int64
 	deadSweeps, coresRecovered atomic.Int64
-	spawns, execs              atomic.Int64
+}
+
+func (ps *progStats) init(cores int) { ps.w = make([]workerStats, cores) }
+
+// spawns/execs total the per-worker shards. At a run boundary (ObsRunDone)
+// the sums are exact, not racy: every shard increment happens-before the
+// root frame's done close through the frame pending chain.
+func (ps *progStats) spawns() int64 {
+	n := ps.rootSpawns.Load()
+	for i := range ps.w {
+		n += ps.w[i].spawns.Load()
+	}
+	return n
+}
+
+func (ps *progStats) execs() int64 {
+	var n int64
+	for i := range ps.w {
+		n += ps.w[i].execs.Load()
+	}
+	return n
 }
 
 func (ps *progStats) snapshot() Stats {
-	return Stats{
-		Steals:         ps.steals.Load(),
-		FailedSteals:   ps.failedSteals.Load(),
-		Sleeps:         ps.sleeps.Load(),
+	s := Stats{
 		Wakes:          ps.wakes.Load(),
-		Evictions:      ps.evictions.Load(),
 		Claims:         ps.claims.Load(),
 		Reclaims:       ps.reclaims.Load(),
 		Runs:           ps.runs.Load(),
 		DeadSweeps:     ps.deadSweeps.Load(),
 		CoresRecovered: ps.coresRecovered.Load(),
-		Spawns:         ps.spawns.Load(),
-		Execs:          ps.execs.Load(),
+		Spawns:         ps.rootSpawns.Load(),
 	}
+	for i := range ps.w {
+		ws := &ps.w[i]
+		s.Steals += ws.steals.Load()
+		s.FailedSteals += ws.failedSteals.Load()
+		s.Sleeps += ws.sleeps.Load()
+		s.Evictions += ws.evictions.Load()
+		s.Spawns += ws.spawns.Load()
+		s.Execs += ws.execs.Load()
+	}
+	return s
 }

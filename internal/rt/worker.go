@@ -1,7 +1,6 @@
 package rt
 
 import (
-	"math/rand"
 	"runtime"
 	"sync/atomic"
 
@@ -16,30 +15,54 @@ const (
 
 // worker is one worker goroutine, affined to core slot id for its whole
 // life (the paper's w_ij ↔ c_j affinity).
+//
+// Field order groups owner-only hot state (deque pointer, RNG, free-lists,
+// drought counter) away from the cross-goroutine fields: state is CASed by
+// the coordinator on every wake and st is read by Stats(), so they sit
+// behind a pad where their traffic cannot dirty the owner's line.
 type worker struct {
 	p  *Program
 	id int
 
 	deque *deque.Deque[taskNode]
-	rng   *rand.Rand
-
-	state  atomic.Int32
-	wakeCh chan struct{}
+	rng   uint64 // xorshift64* victim-selector state; owner-only
+	pool  taskPool
 
 	failedSteals int
+
+	_ [64]byte // owner-local fields above, cross-goroutine below
+
+	st     *workerStats // this worker's shard of the program counters
+	state  atomic.Int32
+	wakeCh chan struct{}
 }
 
 func newWorker(p *Program, id int) *worker {
 	return &worker{
-		p:      p,
-		id:     id,
-		deque:  deque.New[taskNode](64),
-		rng:    rand.New(rand.NewSource(int64(p.idx)*1_000_003 + int64(id)*97 + 1)),
+		p:     p,
+		id:    id,
+		deque: deque.New[taskNode](64),
+		// Same per-(program, worker) seed family the old rand.Rand used;
+		// xorshift needs a non-zero state, which the +1 guarantees.
+		rng:    uint64(int64(p.idx)*1_000_003 + int64(id)*97 + 1),
+		pool:   newTaskPool(),
+		st:     &p.st.w[id],
 		wakeCh: make(chan struct{}, 1),
 	}
 }
 
-func (w *worker) stats() *progStats { return &w.p.st }
+// nextRand advances the worker's xorshift64* PRNG. It replaces a per-worker
+// rand.Rand (≈5 KB of heap state and a method call per probe) with three
+// shifts in registers; statistical quality is far beyond what victim
+// selection needs.
+func (w *worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
 
 // loop is Algorithm 1 on a live goroutine: pop the own pool, steal
 // otherwise, and under DWS/DWS-NC sleep after T_SLEEP consecutive failed
@@ -65,7 +88,7 @@ func (w *worker) loop() {
 		// occupied by its program stops and sleeps without releasing.
 		if cfg.Policy == DWS && p.sys.table.Occupant(w.id) != p.id {
 			p.sys.table.AckEviction(w.id)
-			p.st.evictions.Add(1)
+			w.st.evictions.Add(1)
 			p.emit(ObsEvent{Kind: ObsEvict, Core: w.id})
 			w.park(false)
 			continue
@@ -78,12 +101,12 @@ func (w *worker) loop() {
 		}
 		if t := w.trySteal(); t != nil {
 			w.failedSteals = 0
-			p.st.steals.Add(1)
+			w.st.steals.Add(1)
 			w.execute(t)
 			continue
 		}
 		w.failedSteals++
-		p.st.failedSteals.Add(1)
+		w.st.failedSteals.Add(1)
 		if sleeper && w.failedSteals > cfg.TSleep {
 			if w.park(true) {
 				continue
@@ -96,14 +119,19 @@ func (w *worker) loop() {
 
 // trySteal scans the victims once in random order, then the program's
 // injection queue. A full scan without success counts as one failed steal
-// attempt toward T_SLEEP.
+// attempt toward T_SLEEP. The start offset uses a multiply-shift range
+// reduction and the scan wraps with a compare instead of a per-probe
+// modulo.
 func (w *worker) trySteal() *taskNode {
 	vs := w.p.victims[w.id]
 	if n := len(vs); n > 0 {
-		off := w.rng.Intn(n)
+		off := int((w.nextRand() >> 32) * uint64(n) >> 32)
 		for i := 0; i < n; i++ {
-			if t := vs[(off+i)%n].deque.Steal(); t != nil {
+			if t := vs[off].deque.Steal(); t != nil {
 				return t
+			}
+			if off++; off == n {
+				off = 0
 			}
 		}
 	}
@@ -134,7 +162,7 @@ func (w *worker) park(release bool) bool {
 			p.emit(ObsEvent{Kind: ObsRelease, Core: w.id})
 		}
 	}
-	p.st.sleeps.Add(1)
+	w.st.sleeps.Add(1)
 	w.block()
 	return true
 }
