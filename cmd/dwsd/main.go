@@ -46,6 +46,7 @@ func main() {
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		period   = flag.Duration("period", 0, "coordinator period T (0 = rt default, 10ms)")
 		leaseTTL = flag.Duration("lease-ttl", 0, "core-table lease expiry for wedged-tenant eviction (0 = 10×period)")
+		arbiter  = flag.Duration("arbiter-period", 0, "QoS arbitration period, DWS only (0 = default 50ms; negative disables)")
 	)
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 		MaxSize:         *maxSize,
 		CoordPeriod:     *period,
 		LeaseTTL:        *leaseTTL,
+		ArbiterPeriod:   *arbiter,
 	})
 	if err != nil {
 		log.Fatalf("dwsd: %v", err)

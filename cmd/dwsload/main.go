@@ -47,10 +47,15 @@ func main() {
 		tenants  = flag.String("tenants", "alice=FFT,bob=Mergesort", "tenant=kernel pairs, round-robin")
 		size     = flag.Float64("size", 0.1, "job input scale")
 		deadline = flag.Duration("deadline", 0, "per-job deadline (0 = server default)")
+		weights  = flag.String("weights", "", "tenant=weight QoS declarations, e.g. gold=2,bronze=1 (sent with every job)")
 	)
 	flag.Parse()
 
 	pairs, err := parseTenants(*tenants)
+	if err != nil {
+		fatal(err)
+	}
+	weightOf, err := parseWeights(*weights)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,6 +99,7 @@ loop:
 					Kernel:     kernel,
 					Size:       *size,
 					DeadlineMS: int64(*deadline / time.Millisecond),
+					Weight:     weightOf[tenant],
 				})
 				mu.Lock()
 				results = append(results, r)
@@ -104,7 +110,14 @@ loop:
 	wg.Wait() // open loop stops *sending*; in-flight jobs still finish
 	elapsed := time.Since(begin)
 
-	report(os.Stdout, info, pairs, results, sent, elapsed)
+	// Snapshot the server-side tenant view (cores held, entitlement,
+	// queue depth) so the report shows *why* the latency split looks the
+	// way it does, not just the split itself.
+	tinfos, err := fetchTenants(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dwsload: tenant snapshot failed: %v\n", err)
+	}
+	report(os.Stdout, info, pairs, results, tinfos, sent, elapsed)
 }
 
 // fire submits one job and classifies the outcome.
@@ -127,11 +140,19 @@ func fire(client *http.Client, addr string, req server.JobRequest) result {
 	return r
 }
 
-// report renders the per-tenant and overall table.
-func report(w io.Writer, info server.Info, pairs [][2]string, results []result, sent int, elapsed time.Duration) {
+// report renders the per-tenant and overall table. The last three columns
+// come from the server's end-of-run tenant snapshot: the core-table share
+// the tenant held, the cores the QoS arbiter entitled it to (w= prefixes
+// its declared weight; "-" when arbitration is off), and the admission
+// queue depth left behind.
+func report(w io.Writer, info server.Info, pairs [][2]string, results []result, tinfos []server.TenantInfo, sent int, elapsed time.Duration) {
 	kernelOf := make(map[string]string, len(pairs))
 	for _, p := range pairs {
 		kernelOf[p[0]] = p[1]
+	}
+	infoOf := make(map[string]server.TenantInfo, len(tinfos))
+	for _, ti := range tinfos {
+		infoOf[ti.Name] = ti
 	}
 	byTenant := make(map[string][]result)
 	for _, r := range results {
@@ -144,8 +165,9 @@ func report(w io.Writer, info server.Info, pairs [][2]string, results []result, 
 	sort.Strings(names)
 
 	fmt.Fprintf(w, "\npolicy=%s elapsed=%.1fs sent=%d (open loop)\n", info.Policy, elapsed.Seconds(), sent)
-	fmt.Fprintf(w, "%-10s %-10s %6s %6s %6s %5s %10s %9s %9s %9s\n",
-		"tenant", "kernel", "sent", "ok", "429", "other", "thr(job/s)", "p50(ms)", "p95(ms)", "p99(ms)")
+	fmt.Fprintf(w, "%-10s %-10s %6s %6s %6s %5s %10s %9s %9s %9s %6s %8s %5s\n",
+		"tenant", "kernel", "sent", "ok", "429", "other", "thr(job/s)", "p50(ms)", "p95(ms)", "p99(ms)",
+		"cores", "entitled", "queue")
 	line := func(name, kernel string, rs []result) {
 		var ok, rejected, other int
 		var lat []float64
@@ -160,10 +182,21 @@ func report(w io.Writer, info server.Info, pairs [][2]string, results []result, 
 				other++
 			}
 		}
-		fmt.Fprintf(w, "%-10s %-10s %6d %6d %6d %5d %10.2f %9.1f %9.1f %9.1f\n",
+		cores, entitled, queue := "-", "-", "-"
+		if ti, found := infoOf[name]; found {
+			if ti.CoresHeld >= 0 {
+				cores = fmt.Sprintf("%d", ti.CoresHeld)
+			}
+			if ti.EntitledCores >= 0 {
+				entitled = fmt.Sprintf("%d(w=%g)", ti.EntitledCores, ti.Weight)
+			}
+			queue = fmt.Sprintf("%d", ti.QueueDepth)
+		}
+		fmt.Fprintf(w, "%-10s %-10s %6d %6d %6d %5d %10.2f %9.1f %9.1f %9.1f %6s %8s %5s\n",
 			name, kernel, len(rs), ok, rejected, other,
 			float64(ok)/elapsed.Seconds(),
-			stats.Percentile(lat, 50), stats.Percentile(lat, 95), stats.Percentile(lat, 99))
+			stats.Percentile(lat, 50), stats.Percentile(lat, 95), stats.Percentile(lat, 99),
+			cores, entitled, queue)
 	}
 	var all []result
 	for _, name := range names {
@@ -171,6 +204,19 @@ func report(w io.Writer, info server.Info, pairs [][2]string, results []result, 
 		all = append(all, byTenant[name]...)
 	}
 	line("overall", "-", all)
+}
+
+func fetchTenants(addr string) ([]server.TenantInfo, error) {
+	resp, err := http.Get(addr + "/v1/tenants")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/tenants: %s", resp.Status)
+	}
+	var tis []server.TenantInfo
+	return tis, json.NewDecoder(resp.Body).Decode(&tis)
 }
 
 func fetchInfo(addr string) (server.Info, error) {
@@ -184,6 +230,25 @@ func fetchInfo(addr string) (server.Info, error) {
 	}
 	var info server.Info
 	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+func parseWeights(s string) (map[string]float64, error) {
+	m := make(map[string]float64)
+	if s == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -weights entry %q (want name=weight)", part)
+		}
+		var weight float64
+		if _, err := fmt.Sscanf(val, "%g", &weight); err != nil || weight <= 0 {
+			return nil, fmt.Errorf("bad -weights value %q for %s (want a positive number)", val, name)
+		}
+		m[name] = weight
+	}
+	return m, nil
 }
 
 func parseTenants(s string) ([][2]string, error) {

@@ -1,0 +1,146 @@
+package arbiter
+
+import "sort"
+
+// Apportion divides k cores among programs in proportion to their scores
+// using largest-remainder apportionment, then repairs the result so no
+// program falls below its floor. Scores and floors are indexed by program
+// slot (pid-1); a zero score means the program gets nothing beyond its
+// floor. The result always sums to exactly k when any score is positive
+// (and to the floor sum otherwise), and is fully deterministic: remainder
+// ties break toward the lower slot, floor repairs take cores from the
+// largest-slack donor breaking ties toward the higher slot.
+//
+// The function is pure and shared by the live arbiter, the simulator's
+// arbiter model, and schedcheck's conformance recomputation — the three
+// must agree bit-for-bit, so none of them reimplements it.
+//
+// Degenerate case: equal positive scores for the first m slots and zero
+// floors reproduce the paper's static split exactly — ⌊k/m⌋ per program
+// with the first k%m programs getting one extra, i.e. coretable.HomeCores
+// block sizes in slot order.
+func Apportion(k int, scores []float64, floors []int32) []int32 {
+	if len(scores) != len(floors) {
+		panic("arbiter: scores and floors length mismatch")
+	}
+	n := len(scores)
+	ents := make([]int32, n)
+	total := 0.0
+	for _, s := range scores {
+		if s > 0 {
+			total += s
+		}
+	}
+	if total <= 0 {
+		copy(ents, floors)
+		return ents
+	}
+
+	// Largest remainder: integer part of each quota, then one extra core
+	// per unit of leftover in descending-remainder order.
+	rem := make([]float64, n)
+	given := 0
+	for i, s := range scores {
+		if s <= 0 {
+			continue
+		}
+		quota := float64(k) * s / total
+		ents[i] = int32(quota)
+		rem[i] = quota - float64(ents[i])
+		given += int(ents[i])
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rem[order[a]] > rem[order[b]] // stable sort keeps lower slots first on ties
+	})
+	for _, i := range order {
+		if given >= k {
+			break
+		}
+		if scores[i] > 0 {
+			ents[i]++
+			given++
+		}
+	}
+
+	// Floor repair: move cores from the programs with the most slack above
+	// their floor to any program below its floor. Terminates because the
+	// caller guarantees the floors sum to at most k.
+	for {
+		short := -1
+		for i := 0; i < n; i++ {
+			if ents[i] < floors[i] {
+				short = i
+				break
+			}
+		}
+		if short < 0 {
+			return ents
+		}
+		donor, slack := -1, int32(0)
+		for i := 0; i < n; i++ {
+			if s := ents[i] - floors[i]; s >= slack && ents[i] > 0 {
+				donor, slack = i, s
+			}
+		}
+		if donor < 0 || slack <= 0 {
+			return ents // floors infeasible; leave the proportional split
+		}
+		ents[donor]--
+		ents[short]++
+	}
+}
+
+// Floors returns the weighted entitlement floor per program slot: an
+// active program is guaranteed max(1, ⌊frac·k·wᵢ/Σw_active⌋) cores so no
+// tenant can be starved below its weighted share of the machine, while
+// idle programs get a floor of 0 (their cores are redistributable). If
+// the floors would be infeasible (sum > k — e.g. more active programs
+// than cores), they degrade to one core for each of the first k active
+// slots, then to zero beyond that.
+func Floors(k int, weights []float64, active []bool, frac float64) []int32 {
+	if len(weights) != len(active) {
+		panic("arbiter: weights and active length mismatch")
+	}
+	n := len(weights)
+	floors := make([]int32, n)
+	wsum := 0.0
+	for i, a := range active {
+		if a {
+			wsum += weights[i]
+		}
+	}
+	if wsum <= 0 {
+		return floors
+	}
+	sum := int32(0)
+	for i, a := range active {
+		if !a {
+			continue
+		}
+		f := int32(frac * float64(k) * weights[i] / wsum)
+		if f < 1 {
+			f = 1
+		}
+		floors[i] = f
+		sum += f
+	}
+	if sum <= int32(k) {
+		return floors
+	}
+	// Infeasible: one core per active slot in slot order while they last.
+	left := int32(k)
+	for i, a := range active {
+		switch {
+		case a && left > 0:
+			floors[i] = 1
+			left--
+		default:
+			floors[i] = 0
+		}
+	}
+	return floors
+}

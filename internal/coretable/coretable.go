@@ -42,13 +42,15 @@ var nowNanos = func() int64 { return time.Now().UnixNano() }
 // its cores stops beating; any survivor's SweepExpired then frees the
 // dead program's cores so co-runners are not starved forever.
 type Table struct {
-	k      int
-	occ    []atomic.Int32 // occupant program ID per core, Free if none
-	evict  []atomic.Int32 // 1 while an eviction of the occupant is pending
-	epoch  []atomic.Int64 // per-program join generation
-	beat   []atomic.Int64 // per-program last-heartbeat UnixNano, 0 = none
-	now    func() int64   // lease clock override; nil = package nowNanos
-	closer func() error   // non-nil for file-backed tables
+	k        int
+	occ      []atomic.Int32 // occupant program ID per core, Free if none
+	evict    []atomic.Int32 // 1 while an eviction of the occupant is pending
+	epoch    []atomic.Int64 // per-program join generation
+	beat     []atomic.Int64 // per-program last-heartbeat UnixNano, 0 = none
+	ent      []atomic.Int32 // per-program core entitlement (see entitlement.go)
+	entEpoch *atomic.Int64  // entitlement generation, 0 = never arbitrated
+	now      func() int64   // lease clock override; nil = package nowNanos
+	closer   func() error   // non-nil for file-backed tables
 }
 
 // SetNowFunc overrides this table's lease clock (Join/Beat/SweepExpired
@@ -71,11 +73,13 @@ func NewMem(k int) *Table {
 		panic(fmt.Sprintf("coretable: non-positive core count %d", k))
 	}
 	return &Table{
-		k:     k,
-		occ:   make([]atomic.Int32, k),
-		evict: make([]atomic.Int32, k),
-		epoch: make([]atomic.Int64, k),
-		beat:  make([]atomic.Int64, k),
+		k:        k,
+		occ:      make([]atomic.Int32, k),
+		evict:    make([]atomic.Int32, k),
+		epoch:    make([]atomic.Int64, k),
+		beat:     make([]atomic.Int64, k),
+		ent:      make([]atomic.Int32, k),
+		entEpoch: new(atomic.Int64),
 	}
 }
 
@@ -318,7 +322,18 @@ func (t *Table) String() string {
 // HomeCores returns the paper's initial even allocation: program index idx
 // (0-based) of m co-running programs on k cores gets a contiguous block of
 // ⌈k/m⌉ or ⌊k/m⌋ adjacent cores, with the first k%m programs getting the
-// larger blocks. It panics on invalid arguments.
+// larger blocks.
+//
+// When m > k (more programs than cores — the paper never runs this, but
+// dwsd tenants can) the first k programs get one core each and the
+// remaining m-k programs get an empty share: they own no home core, so
+// they can never reclaim, but they still claim free cores under case 1 of
+// the coordinator rule and so make progress whenever co-runners sleep.
+// The weighted arbiter (internal/arbiter) redistributes entitlements in
+// this regime too, under the same "at most k programs hold a non-empty
+// share" constraint.
+//
+// It panics on non-positive k or m, or idx outside [0, m).
 func HomeCores(k, m, idx int) []int {
 	if k <= 0 || m <= 0 || idx < 0 || idx >= m {
 		panic(fmt.Sprintf("coretable: HomeCores(%d, %d, %d) out of range", k, m, idx))
@@ -356,11 +371,15 @@ func (t *Table) InstallHome(home []int, pid int32) {
 
 // Reset frees every core, clears all eviction flags, and drops every
 // lease (epochs are preserved — they count generations for the table's
-// lifetime).
+// lifetime). Entitlements are cleared and the entitlement epoch returns
+// to 0 ("never arbitrated"), so programs fall back to the static
+// HomeCores split until an arbiter publishes again.
 func (t *Table) Reset() {
 	for i := 0; i < t.k; i++ {
 		t.occ[i].Store(Free)
 		t.evict[i].Store(0)
 		t.beat[i].Store(0)
+		t.ent[i].Store(0)
 	}
+	t.entEpoch.Store(0)
 }

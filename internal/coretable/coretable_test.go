@@ -234,6 +234,26 @@ func TestHomeCoresUneven(t *testing.T) {
 	}
 }
 
+// TestHomeCoresMoreProgramsThanCores pins the documented m > k contract:
+// the first k programs get one core each, the rest get an empty share —
+// no panic, no overlap.
+func TestHomeCoresMoreProgramsThanCores(t *testing.T) {
+	const k, m = 3, 5
+	for idx := 0; idx < m; idx++ {
+		got := HomeCores(k, m, idx)
+		switch {
+		case idx < k:
+			if len(got) != 1 || got[0] != idx {
+				t.Fatalf("HomeCores(%d,%d,%d) = %v, want [%d]", k, m, idx, got, idx)
+			}
+		default:
+			if len(got) != 0 {
+				t.Fatalf("HomeCores(%d,%d,%d) = %v, want empty share", k, m, idx, got)
+			}
+		}
+	}
+}
+
 func TestHomeCoresPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -249,10 +269,7 @@ func TestHomeCoresPanics(t *testing.T) {
 func TestPropertyHomeCoresPartition(t *testing.T) {
 	f := func(kRaw, mRaw uint8) bool {
 		k := int(kRaw%64) + 1
-		m := int(mRaw%16) + 1
-		if m > k {
-			m = k
-		}
+		m := int(mRaw%96) + 1 // may exceed k: overflow programs get empty shares
 		covered := make([]int, k)
 		minSize, maxSize := k+1, 0
 		for idx := 0; idx < m; idx++ {

@@ -25,13 +25,16 @@ import (
 //	[4+k..4+2k) eviction flags
 //	(pad to an 8-byte boundary)
 //	k int64 lease epochs, then k int64 last-beat UnixNano stamps
+//	k int32 entitlement slots
+//	(pad to an 8-byte boundary)
+//	1 int64 entitlement epoch
 //
-// Version 2 added the lease records; version-1 files are rejected (the
-// table file is ephemeral — delete it and let the first launcher recreate
-// it).
+// Version 2 added the lease records; version 3 added the entitlement
+// area (see entitlement.go). Older-version files are rejected (the table
+// file is ephemeral — delete it and let the first launcher recreate it).
 const (
 	fileMagic   = 0x44575354 // "DWST"
-	fileVersion = 2
+	fileVersion = 3
 	headerSlots = 4
 )
 
@@ -40,7 +43,15 @@ const (
 // addressable on every supported architecture.
 func leaseOff(k int) int { return (4*(headerSlots+2*k) + 7) &^ 7 }
 
-func fileSize(k int) int { return leaseOff(k) + 16*k }
+// entOff is the byte offset of the entitlement slots (the lease area is a
+// whole number of int64s, so this stays 8-byte aligned).
+func entOff(k int) int { return leaseOff(k) + 16*k }
+
+// entEpochOff is the byte offset of the entitlement epoch, rounded up to
+// 8-byte alignment past the k int32 entitlement slots.
+func entEpochOff(k int) int { return (entOff(k) + 4*k + 7) &^ 7 }
+
+func fileSize(k int) int { return entEpochOff(k) + 8 }
 
 // OpenFile creates or opens a file-backed core allocation table for k
 // cores at path and maps it into memory. Multiple processes opening the
@@ -125,11 +136,13 @@ func OpenFile(path string, k int) (*Table, error) {
 	// an 8-byte-aligned offset (leaseOff).
 	leases := unsafe.Slice((*atomic.Int64)(unsafe.Pointer(&data[leaseOff(k)])), 2*k)
 	t := &Table{
-		k:     k,
-		occ:   unsafe.Slice((*atomic.Int32)(unsafe.Pointer(&slots[headerSlots])), k),
-		evict: unsafe.Slice((*atomic.Int32)(unsafe.Pointer(&slots[headerSlots+k])), k),
-		epoch: leases[:k],
-		beat:  leases[k:],
+		k:        k,
+		occ:      unsafe.Slice((*atomic.Int32)(unsafe.Pointer(&slots[headerSlots])), k),
+		evict:    unsafe.Slice((*atomic.Int32)(unsafe.Pointer(&slots[headerSlots+k])), k),
+		epoch:    leases[:k],
+		beat:     leases[k:],
+		ent:      unsafe.Slice((*atomic.Int32)(unsafe.Pointer(&data[entOff(k)])), k),
+		entEpoch: (*atomic.Int64)(unsafe.Pointer(&data[entEpochOff(k)])),
 		closer: func() error {
 			return syscall.Munmap(data)
 		},

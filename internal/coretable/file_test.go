@@ -125,6 +125,43 @@ func TestFileTableVersionMismatch(t *testing.T) {
 	}
 }
 
+// TestFileTableEntitlementsShared checks that the v3 entitlement area —
+// like occupancy and leases — lives in the shared mapping: an arbiter in
+// one process publishes, coordinators in another derive their elastic
+// homes from it, and a racing publisher with a stale epoch aborts.
+func TestFileTableEntitlementsShared(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dws.table")
+	a, err := OpenFile(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenFile(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if got := b.EntitledCores(0); got != nil {
+		t.Fatalf("unarbitrated file table EntitledCores = %v, want nil", got)
+	}
+	if _, ok := a.SetEntitlements([]int32{3, 1, 0, 0}, 0); !ok {
+		t.Fatal("publish via mapping a failed")
+	}
+	if got := b.EntitlementEpoch(); got != 1 {
+		t.Fatalf("mapping b sees entitlement epoch %d, want 1", got)
+	}
+	if got := b.Entitlement(1); got != 3 {
+		t.Fatalf("mapping b sees p1 entitlement %d, want 3", got)
+	}
+	if got := b.EntitledCores(1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("mapping b derives slot 1 cores %v, want [3]", got)
+	}
+	if _, ok := b.SetEntitlements([]int32{4, 0, 0, 0}, 0); ok {
+		t.Fatal("stale-epoch publish via mapping b succeeded")
+	}
+}
+
 func TestFileTableBadK(t *testing.T) {
 	if _, err := OpenFile(filepath.Join(t.TempDir(), "x"), 0); err == nil {
 		t.Fatal("k=0 accepted")

@@ -34,6 +34,11 @@ const (
 	// boundary if no task was lost.
 	ObsRunStart
 	ObsRunDone
+	// ObsEntitle: the arbiter published a new entitlement for Prog —
+	// EOld→ENew cores. One event per program row of the batch (Batch rows
+	// total, shrinks emitted before growths); Epoch is the entitlement
+	// epoch the batch published.
+	ObsEntitle
 )
 
 // String names the kind.
@@ -61,6 +66,8 @@ func (k ObsKind) String() string {
 		return "run-start"
 	case ObsRunDone:
 		return "run-done"
+	case ObsEntitle:
+		return "entitle"
 	default:
 		return "other"
 	}
@@ -97,6 +104,22 @@ type ObsEvent struct {
 	Woken     int `json:"woken,omitempty"`
 	Claimed   int `json:"claimed,omitempty"`
 	Reclaimed int `json:"reclaimed,omitempty"`
+
+	// Arbiter decision row (ObsEntitle): Prog's entitlement moved EOld→ENew
+	// under the batch's Trigger; Weight/Score/Floor/Demand/Activity/Active
+	// are the arbitration inputs the decision was computed from (Score is 0
+	// while the program is classified idle), and Batch is the number of
+	// rows in this publish. Epoch carries the entitlement epoch.
+	EOld     int     `json:"eold,omitempty"`
+	ENew     int     `json:"enew,omitempty"`
+	Floor    int     `json:"floor,omitempty"`
+	Batch    int     `json:"batch,omitempty"`
+	Weight   float64 `json:"weight,omitempty"`
+	Score    float64 `json:"score,omitempty"`
+	Demand   float64 `json:"demand,omitempty"`
+	Activity float64 `json:"activity,omitempty"`
+	Active   bool    `json:"active,omitempty"`
+	Trigger  string  `json:"trigger,omitempty"`
 
 	// Cores is the number of slots freed by an ObsSweep.
 	Cores int `json:"cores,omitempty"`

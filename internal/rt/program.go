@@ -44,6 +44,10 @@ type Program struct {
 	shutdown  atomic.Bool
 	beatsOff  atomic.Bool // fault injection: suppress lease heartbeats
 
+	// qosState carries the declared arbitration weight/SLO and the
+	// queue-wait demand signal (arbiter.go).
+	qosState
+
 	runMu     sync.Mutex // serialises Run calls
 	coordStop chan struct{}
 	wg        sync.WaitGroup
@@ -113,10 +117,14 @@ func (p *Program) emit(ev ObsEvent) {
 }
 
 // start launches the worker goroutines (and coordinator) according to the
-// system policy and the paper's initial even allocation.
+// system policy and the initial allocation — the paper's even split, or
+// the entitled block when an arbiter has already published one (a late
+// joiner starts on whatever home the arbiter left it; the arbiter's next
+// tick sees the join and republishes).
 func (p *Program) start() {
-	isHome := make(map[int]bool, len(p.home))
-	for _, c := range p.home {
+	home := p.homeCores()
+	isHome := make(map[int]bool, len(home))
+	for _, c := range home {
 		isHome[c] = true
 	}
 	switch p.sys.cfg.Policy {
@@ -166,15 +174,17 @@ func (p *Program) launch(w *worker, initial int32) {
 	go w.loop()
 }
 
-// takeHome (re)establishes the initial even allocation through the CAS
+// takeHome (re)establishes the program's home allocation through the CAS
 // protocol: free home cores are claimed and borrowed ones reclaimed (the
 // eviction flag tells the borrower to stop). Unlike a blind install this
 // is safe when other programs — possibly in other OS processes — already
 // run on the shared table: a late or restarted joiner takes its home
-// share back the same way a reclaiming owner does.
+// share back the same way a reclaiming owner does. The home is the
+// entitled block when an arbiter is publishing, the static even split
+// otherwise.
 func (p *Program) takeHome() {
 	t := p.sys.table
-	for _, c := range p.home {
+	for _, c := range p.homeCores() {
 		switch occ := t.Occupant(c); {
 		case occ == p.id:
 			// Already ours (restart).
@@ -256,7 +266,7 @@ func (p *Program) regrabHome() {
 		}
 	case DWS:
 		t := p.sys.table
-		for _, c := range p.home {
+		for _, c := range p.homeCores() {
 			switch occ := t.Occupant(c); {
 			case occ == p.id:
 				p.wake(p.workers[c])
@@ -421,7 +431,7 @@ func (p *Program) coordTick() {
 	}
 	ev.NF = len(frees)
 	var recls []int
-	for _, c := range p.home {
+	for _, c := range p.homeCores() {
 		if p.workers[c].state.Load() != stateSleeping {
 			continue
 		}

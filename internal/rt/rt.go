@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dws/internal/arbiter"
 	"dws/internal/coretable"
 	"dws/internal/vclock"
 )
@@ -129,6 +130,18 @@ type Config struct {
 	// schedcheck invariant checker must catch the resulting under-waking;
 	// see also Program.FailBeats.
 	FaultSkipReclaim bool
+	// ArbiterPeriod, when positive, enables QoS-weighted elastic core
+	// arbitration (DWS only): every period the system folds each live
+	// program's declared weight/SLO (Program.SetQoS) and measured demand
+	// into the core table's entitlement area, and coordinators derive
+	// their home block from the published entitlements instead of the
+	// static HomeCores split. 0 disables arbitration (the paper's fixed
+	// shares).
+	ArbiterPeriod time.Duration
+	// Arbiter optionally tunes the arbitration policy (EWMA alpha,
+	// hysteresis, floors, SLO boost, fault injection). Cores is filled in
+	// from the system; nil uses the documented defaults.
+	Arbiter *arbiter.Config
 }
 
 func (c *Config) validate() error {
@@ -162,6 +175,12 @@ func (c *Config) validate() error {
 				c.Table.K(), c.Cores)
 		}
 	}
+	if c.ArbiterPeriod < 0 {
+		c.ArbiterPeriod = 0
+	}
+	if c.ArbiterPeriod > 0 && c.Policy != DWS {
+		return errors.New("rt: ArbiterPeriod requires the DWS policy (entitlements live in the core table)")
+	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real{}
 	}
@@ -174,6 +193,7 @@ type System struct {
 	cfg      Config
 	table    *coretable.Table // non-nil only under DWS
 	ownTable bool             // close the table on System.Close
+	arb      *arbiter.Arbiter // non-nil when Config.ArbiterPeriod > 0
 
 	mu    sync.Mutex
 	slots []*Program // one entry per program slot; nil while free
@@ -215,6 +235,16 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.sweepWG.Add(1)
 		go s.sweeper()
+		if cfg.ArbiterPeriod > 0 {
+			var acfg arbiter.Config
+			if cfg.Arbiter != nil {
+				acfg = *cfg.Arbiter
+			}
+			acfg.Cores = cfg.Cores
+			s.arb = arbiter.New(acfg, s.table)
+			s.sweepWG.Add(1)
+			go s.arbiterLoop()
+		}
 	}
 	return s, nil
 }

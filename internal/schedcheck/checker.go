@@ -19,7 +19,24 @@
 //     N_w = N_b/N_a and the free-first/reclaim-second case order;
 //   - lease epochs are strictly monotone per program ID;
 //   - reclaims only ever target the reclaimer's own home cores and a
-//     victim distinct from the reclaimer.
+//     victim distinct from the reclaimer;
+//   - entitlement batches (ObsEntitle, emitted when the QoS arbiter is
+//     enabled): the modeled entitlement sum never exceeds k at any event
+//     prefix (the runtime emits shrinks before growths), batch epochs are
+//     strictly monotone, no active program is published below its
+//     weighted floor, and the published vector must equal
+//     arbiter.Apportion recomputed from the batch's reported scores and
+//     floors — the assertion that catches an arbiter which ignores
+//     weights.
+//
+// Once an entitlement batch has been observed, the home block is elastic:
+// reclaim-home-only accepts a reclaim of any core in the reclaimer's
+// current or previous entitled block (a coordinator may act on a vector
+// published an instant before its rows reach the checker; reclaims that
+// are outside both are held until the next batch resolves them). The
+// three-case wake-count assertions need no change — N_f and N_r are
+// self-reported per tick, measured by the runtime against the elastic
+// home the entitlement checks pin.
 //
 // Order-insensitive checks (the list above) run on every event. Transition
 // checks that depend on cross-goroutine event order (claim of an occupied
@@ -35,6 +52,7 @@ import (
 	"os"
 	"sync"
 
+	"dws/internal/arbiter"
 	"dws/internal/coretable"
 	"dws/internal/rt"
 )
@@ -94,6 +112,13 @@ type Checker struct {
 	counts     map[rt.ObsKind]int64
 	events     []rt.ObsEvent
 	violations []Violation
+
+	// Entitlement model (populated by ObsEntitle rows).
+	ents       []int64       // current modeled entitlement per slot
+	prevEnts   []int64       // vector before the in-progress/last batch
+	entEpoch   int64         // current batch epoch (0 = never arbitrated)
+	entRows    []rt.ObsEvent // rows of the in-progress batch
+	pendingRec []rt.ObsEvent // reclaims awaiting the next batch to judge
 }
 
 // New returns a Checker for a system of opt.Cores cores and opt.Programs
@@ -110,6 +135,7 @@ func New(opt Options) *Checker {
 		epochs:   make(map[int32]int64),
 		lastDone: make(map[int32][2]int64),
 		counts:   make(map[rt.ObsKind]int64),
+		ents:     make([]int64, opt.Programs),
 	}
 	for i := 0; i < opt.Programs; i++ {
 		c.homes = append(c.homes, coretable.HomeCores(opt.Cores, opt.Programs, i))
@@ -150,9 +176,16 @@ func (c *Checker) Observe(ev rt.ObsEvent) {
 		}
 		c.occ[ev.Core] = ev.Prog
 	case rt.ObsReclaim:
-		if !c.isHome(ev.Prog, ev.Core) {
-			c.violate("reclaim-home-only", ev,
-				fmt.Sprintf("p%d reclaimed core %d outside its home block", ev.Prog, ev.Core))
+		if !c.reclaimInHome(ev.Prog, ev.Core) {
+			if c.entEpoch > 0 {
+				// The coordinator may be acting on a batch published an
+				// instant before its rows reached us; the next batch (or
+				// stream end) judges it.
+				c.pendingRec = append(c.pendingRec, ev)
+			} else {
+				c.violate("reclaim-home-only", ev,
+					fmt.Sprintf("p%d reclaimed core %d outside its home block", ev.Prog, ev.Core))
+			}
 		}
 		if ev.Victim == ev.Prog || ev.Victim == coretable.Free {
 			c.violate("reclaim-victim", ev,
@@ -197,6 +230,8 @@ func (c *Checker) Observe(ev rt.ObsEvent) {
 		}
 	case rt.ObsCoordTick:
 		c.checkCoordTick(ev)
+	case rt.ObsEntitle:
+		c.checkEntitle(ev)
 	case rt.ObsRunDone:
 		if ev.Spawned != ev.Executed {
 			c.violate("task-conservation", ev,
@@ -257,6 +292,130 @@ func (c *Checker) checkCoordTick(ev rt.ObsEvent) {
 					ev.Woken, ev.NW, ev.NF+ev.NR, want))
 		}
 	}
+}
+
+// checkEntitle folds one ObsEntitle row into the entitlement model and
+// asserts the batch invariants. Caller holds c.mu.
+func (c *Checker) checkEntitle(ev rt.ObsEvent) {
+	slot := int(ev.Prog) - 1
+	if slot < 0 || slot >= c.opt.Programs {
+		c.violate("entitlement-batch", ev,
+			fmt.Sprintf("row for unknown program p%d", ev.Prog))
+		return
+	}
+	switch {
+	case ev.Epoch <= 0 || ev.Epoch < c.entEpoch:
+		c.violate("entitlement-epoch-monotone", ev,
+			fmt.Sprintf("batch epoch %d after epoch %d", ev.Epoch, c.entEpoch))
+		return
+	case ev.Epoch == c.entEpoch && len(c.entRows) == 0:
+		// The previous batch of this epoch already completed.
+		c.violate("entitlement-epoch-monotone", ev,
+			fmt.Sprintf("extra row after the batch of epoch %d completed", ev.Epoch))
+		return
+	case ev.Epoch > c.entEpoch:
+		if len(c.entRows) > 0 {
+			c.violate("entitlement-batch", ev,
+				fmt.Sprintf("batch of epoch %d started with %d/%d rows of epoch %d outstanding",
+					ev.Epoch, len(c.entRows), c.entRows[0].Batch, c.entEpoch))
+		}
+		c.prevEnts = append([]int64(nil), c.ents...)
+		c.entEpoch = ev.Epoch
+		c.entRows = c.entRows[:0]
+	}
+
+	if ev.Active && ev.ENew < ev.Floor {
+		c.violate("entitlement-floor", ev,
+			fmt.Sprintf("active p%d entitled %d cores, below its weighted floor %d",
+				ev.Prog, ev.ENew, ev.Floor))
+	}
+	if c.ents[slot] != int64(ev.EOld) {
+		c.violate("entitlement-batch", ev,
+			fmt.Sprintf("row says p%d moved %d→%d but model holds %d",
+				ev.Prog, ev.EOld, ev.ENew, c.ents[slot]))
+	}
+	c.ents[slot] = int64(ev.ENew)
+	var sum int64
+	for _, e := range c.ents {
+		sum += e
+	}
+	if sum > int64(c.opt.Cores) {
+		c.violate("entitlement-sum", ev,
+			fmt.Sprintf("entitlements sum to %d of %d cores mid-batch (growth emitted before shrink?)",
+				sum, c.opt.Cores))
+	}
+	c.entRows = append(c.entRows, ev)
+	if ev.Batch > 0 && len(c.entRows) >= ev.Batch {
+		c.checkEntitleBatch()
+		c.entRows = c.entRows[:0]
+		c.resolvePendingReclaims()
+	}
+}
+
+// checkEntitleBatch recomputes the apportionment from the completed
+// batch's reported scores and floors and demands the published vector
+// match exactly — the check that catches an arbiter ignoring weights.
+// Caller holds c.mu.
+func (c *Checker) checkEntitleBatch() {
+	scores := make([]float64, c.opt.Programs)
+	floors := make([]int32, c.opt.Programs)
+	for _, r := range c.entRows {
+		s := int(r.Prog) - 1
+		scores[s], floors[s] = r.Score, int32(r.Floor)
+	}
+	want := arbiter.Apportion(c.opt.Cores, scores, floors)
+	for i := range want {
+		if int64(want[i]) != c.ents[i] {
+			c.violate("entitlement-apportion", c.entRows[len(c.entRows)-1],
+				fmt.Sprintf("published vector %v does not match Apportion(%v, floors %v) = %v — weights ignored?",
+					c.ents, scores, floors, want))
+			return
+		}
+	}
+}
+
+// resolvePendingReclaims re-judges reclaims that were outside the home
+// block when observed, against the vector the completed batch installed.
+// Caller holds c.mu.
+func (c *Checker) resolvePendingReclaims() {
+	for _, ev := range c.pendingRec {
+		if !c.reclaimInHome(ev.Prog, ev.Core) {
+			c.violate("reclaim-home-only", ev,
+				fmt.Sprintf("p%d reclaimed core %d outside its entitled home block", ev.Prog, ev.Core))
+		}
+	}
+	c.pendingRec = c.pendingRec[:0]
+}
+
+// reclaimInHome reports whether core is a legal reclaim target for prog:
+// the static home block before any arbitration, the current or previous
+// entitled block after. Caller holds c.mu.
+func (c *Checker) reclaimInHome(prog int32, core int) bool {
+	if c.entEpoch == 0 {
+		return c.isHome(prog, core)
+	}
+	idx := int(prog) - 1
+	if idx < 0 || idx >= c.opt.Programs {
+		return false
+	}
+	if c.inEntBlock(c.ents, idx, core) {
+		return true
+	}
+	return c.prevEnts != nil && c.inEntBlock(c.prevEnts, idx, core)
+}
+
+// inEntBlock mirrors coretable.EntitledCores: slot idx's block starts at
+// the prefix sum of the lower slots' entitlements. Caller holds c.mu.
+func (c *Checker) inEntBlock(ents []int64, idx int, core int) bool {
+	var start int64
+	for i := 0; i < idx; i++ {
+		start += ents[i]
+	}
+	end := start + ents[idx]
+	if end > int64(c.opt.Cores) {
+		end = int64(c.opt.Cores)
+	}
+	return int64(core) >= start && int64(core) < end
 }
 
 // asleepOf returns (lazily creating) the modeled sleep state of prog's
@@ -339,23 +498,37 @@ func (c *Checker) InSync(snapshot []int32) bool {
 	return true
 }
 
-// Violations returns a copy of all recorded violations.
+// Violations returns a copy of all recorded violations, plus one
+// reclaim-home-only entry per reclaim still awaiting an entitlement batch
+// to justify it (at a quiescent stream end, "awaiting" means illegal).
+// The pending entries are derived, not recorded: a batch arriving after
+// this call can still resolve them.
 func (c *Checker) Violations() []Violation {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]Violation(nil), c.violations...)
+	out := append([]Violation(nil), c.violations...)
+	for _, ev := range c.pendingRec {
+		out = append(out, Violation{
+			Invariant: "reclaim-home-only",
+			Detail: fmt.Sprintf("p%d reclaimed core %d outside its entitled home block (no batch justified it)",
+				ev.Prog, ev.Core),
+			Seq: c.seq, Event: ev,
+		})
+	}
+	return out
 }
 
 // Err returns nil if no invariant was violated, else an error summarising
 // the first violation and the total count.
 func (c *Checker) Err() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.violations) == 0 {
+	n := len(c.violations) + len(c.pendingRec)
+	c.mu.Unlock()
+	if n == 0 {
 		return nil
 	}
-	return fmt.Errorf("schedcheck: %d violation(s), first: %s",
-		len(c.violations), c.violations[0])
+	vs := c.Violations()
+	return fmt.Errorf("schedcheck: %d violation(s), first: %s", len(vs), vs[0])
 }
 
 // Count returns how many events of kind were observed.

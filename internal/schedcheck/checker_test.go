@@ -141,7 +141,7 @@ func TestCheckerCoordTickBounds(t *testing.T) {
 		ev   rt.ObsEvent
 		want bool // expect a three-case-rule violation (non-strict checker)
 	}{
-		{"nw-formula", tick(8, 2, 3, 0, 0, 0, 0, 0), true},     // 8/2 = 4, not 3
+		{"nw-formula", tick(8, 2, 3, 0, 0, 0, 0, 0), true},       // 8/2 = 4, not 3
 		{"nw-all-when-idle", tick(5, 0, 4, 0, 0, 0, 0, 0), true}, // N_a = 0 → N_w = N_b
 		{"overwake", tick(4, 2, 2, 3, 0, 3, 3, 0), true},
 		{"overclaim", tick(4, 2, 2, 1, 0, 1, 2, 0), true},

@@ -37,6 +37,13 @@ import (
 //   - invariants: the live run is watched by the Checker and must produce
 //     zero violations.
 //
+// Under DWS both substrates run with the QoS arbiter enabled at equal
+// weights: the arbiter must then degenerate to the paper's static
+// HomeCores split (the sim side is bit-identical to an arbiter-disabled
+// run; the live side's entitle batches are validated by the Checker's
+// entitlement invariants), so conformance doubles as the degeneracy
+// acceptance test for the arbitration layer.
+//
 // Anything that disagrees is recorded as a Divergence, and the whole
 // report (including the simulator's trace summary) serialises to JSONL —
 // the repro artifact CI uploads on failure.
@@ -230,22 +237,55 @@ func RunConformance(scenarios []Scenario, policies []rt.Policy, seed int64) (*Re
 	return rep, nil
 }
 
+// liveRetries bounds re-runs of the live side when the only divergences
+// are wall-clock comparisons (shares, rankings). Those measure real time
+// on a possibly oversubscribed host, so a marginal cell can flip on
+// scheduling noise; a systematic divergence survives every retry. Hard
+// checks — completion, capability, exchange, invariant violations — are
+// never retried.
+const liveRetries = 2
+
 func runOne(sc Scenario, pol rt.Policy, seed int64) (PolicyReport, error) {
+	simOut, simTrace, err := runSimSide(sc, pol, seed)
+	if err != nil {
+		return PolicyReport{Scenario: sc.Name, Policy: pol.String()},
+			fmt.Errorf("sim side: %w", err)
+	}
+	var pr PolicyReport
+	for attempt := 0; ; attempt++ {
+		liveOut, checker, err := runLiveSide(sc, pol)
+		if err != nil {
+			return pr, fmt.Errorf("live side: %w", err)
+		}
+		pr = compareOne(sc, pol, simOut, simTrace, liveOut, checker)
+		if len(pr.Divergences) == 0 || attempt >= liveRetries || !timingOnly(pr) {
+			return pr, nil
+		}
+	}
+}
+
+// timingOnly reports whether every divergence is a wall-clock comparison
+// (and no invariant was violated) — the only case runOne retries.
+func timingOnly(pr PolicyReport) bool {
+	if pr.CheckerViolations > 0 {
+		return false
+	}
+	for _, d := range pr.Divergences {
+		if d.Check != "ranking" && d.Check != "makespan-share" {
+			return false
+		}
+	}
+	return true
+}
+
+// compareOne diffs one live outcome against the sim outcome.
+func compareOne(sc Scenario, pol rt.Policy, simOut SubstrateOutcome, simTrace map[string]int, liveOut SubstrateOutcome, checker *Checker) PolicyReport {
 	pr := PolicyReport{Scenario: sc.Name, Policy: pol.String()}
 	div := func(check, format string, args ...any) {
 		pr.Divergences = append(pr.Divergences, Divergence{
 			Scenario: sc.Name, Policy: pr.Policy,
 			Check: check, Detail: fmt.Sprintf(format, args...),
 		})
-	}
-
-	simOut, simTrace, err := runSimSide(sc, pol, seed)
-	if err != nil {
-		return pr, fmt.Errorf("sim side: %w", err)
-	}
-	liveOut, checker, err := runLiveSide(sc, pol)
-	if err != nil {
-		return pr, fmt.Errorf("live side: %w", err)
 	}
 	pr.Sim, pr.Live, pr.SimTrace = simOut, liveOut, simTrace
 
@@ -333,7 +373,7 @@ func runOne(sc Scenario, pol rt.Policy, seed int64) (PolicyReport, error) {
 			div("invariant", "%s", v)
 		}
 	}
-	return pr, nil
+	return pr
 }
 
 // runSimSide executes the scenario on the discrete-event simulator with a
@@ -353,6 +393,9 @@ func runSimSide(sc Scenario, pol rt.Policy, seed int64) (SubstrateOutcome, map[s
 		CachePenalty:  1,
 		Seed:          seed,
 		Debug:         true,
+	}
+	if cfg.Policy == sim.DWS {
+		cfg.ArbiterPeriodUS = 1000
 	}
 	m, err := sim.NewMachine(cfg, sc.Graphs)
 	if err != nil {
@@ -408,14 +451,20 @@ func runLiveSide(sc Scenario, pol rt.Policy) (SubstrateOutcome, *Checker, error)
 		Policy:   pol,
 	})
 	const coordPeriod = 2 * time.Millisecond
-	sys, err := rt.NewSystem(rt.Config{
+	rtCfg := rt.Config{
 		Cores:       sc.Cores,
 		Programs:    len(sc.Graphs),
 		Policy:      pol,
 		CoordPeriod: coordPeriod,
 		Clock:       fake,
 		Observer:    checker.Observe,
-	})
+	}
+	if pol == rt.DWS {
+		// Arbitration at (implicit) equal weights: must degenerate to the
+		// static split, watched by the entitlement invariants.
+		rtCfg.ArbiterPeriod = coordPeriod
+	}
+	sys, err := rt.NewSystem(rtCfg)
 	if err != nil {
 		return SubstrateOutcome{}, nil, err
 	}

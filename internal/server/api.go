@@ -21,6 +21,15 @@ type JobRequest struct {
 	// default). A job whose deadline expires while still queued is
 	// skipped, never started.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Weight declares the tenant's QoS arbitration weight (0 keeps the
+	// current declaration; tenants start at 1). Under DWS with the
+	// arbiter enabled, a weight-2 tenant is entitled to roughly twice a
+	// weight-1 tenant's cores when both are busy.
+	Weight float64 `json:"weight,omitempty"`
+	// SLOMs declares a target latency SLO in milliseconds (0 keeps the
+	// current declaration). Tenants whose observed queue wait exceeds
+	// the SLO get a bounded entitlement boost until they catch up.
+	SLOMs int64 `json:"slo_ms,omitempty"`
 }
 
 // Stats mirrors rt.Stats as JSON — the scheduler counters of one program
@@ -107,8 +116,15 @@ type TenantInfo struct {
 	JobsServed int64  `json:"jobs_served"`
 	// CoresHeld is the tenant's current core allocation table share
 	// (DWS only; -1 when the policy has no table).
-	CoresHeld int   `json:"cores_held"`
-	Stats     Stats `json:"stats"`
+	CoresHeld int `json:"cores_held"`
+	// Weight and SLOMs echo the tenant's declared QoS parameters.
+	Weight float64 `json:"weight,omitempty"`
+	SLOMs  int64   `json:"slo_ms,omitempty"`
+	// EntitledCores is the tenant's current arbiter entitlement — the
+	// elastic home-block size reclaim is bounded by; -1 when the arbiter
+	// is disabled or has not published yet.
+	EntitledCores int   `json:"entitled_cores"`
+	Stats         Stats `json:"stats"`
 }
 
 // Info is the response of GET /v1/info — enough for a load generator to
@@ -121,6 +137,8 @@ type Info struct {
 	QueueDepth  int      `json:"queue_depth"`
 	DefaultSize float64  `json:"default_size"`
 	Kernels     []string `json:"kernels"`
+	// ArbiterPeriodMS is the QoS arbitration period (0 = disabled).
+	ArbiterPeriodMS float64 `json:"arbiter_period_ms,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx API response.

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dws/internal/rt"
+)
+
+// TestQoSWeightPlumbing drives the full server-side QoS path: a job
+// declaring weight/slo_ms updates the tenant's program, GET /v1/tenants
+// echoes the declaration plus the arbiter's entitlement, and /metrics
+// exposes the entitlement gauges. Weighted 2:1 tenants on a saturated
+// server must end up with a 2:1-ish entitlement split.
+func TestQoSWeightPlumbing(t *testing.T) {
+	s, hs := newTestServer(t, Config{
+		Cores: 4, Policy: rt.DWS, MaxTenants: 2,
+		QueueDepth:    8,
+		CoordPeriod:   2 * time.Millisecond,
+		ArbiterPeriod: 2 * time.Millisecond,
+	})
+
+	// Keep both tenants saturated (one submitter per tenant, back to
+	// back jobs) while we poll the tenant view for the weighted split.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, tn := range []struct {
+		name   string
+		weight float64
+	}{{"gold", 3}, {"bronze", 1}} {
+		wg.Add(1)
+		go func(name string, weight float64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, _ := submit(t, hs.URL, JobRequest{
+					Tenant: name, Kernel: "Mergesort", Size: 0.2,
+					Weight: weight, SLOMs: 500,
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d", name, resp.StatusCode)
+					return
+				}
+			}
+		}(tn.name, tn.weight)
+	}
+
+	// Poll until the arbiter has published a split favoring the heavy
+	// tenant: on 4 cores with both saturated, Apportion(4, [3 1], [1 1])
+	// settles at (3, 1).
+	var byName map[string]TenantInfo
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var tenants []TenantInfo
+		getJSON(t, hs.URL+"/v1/tenants", &tenants)
+		byName = map[string]TenantInfo{}
+		for _, ti := range tenants {
+			byName[ti.Name] = ti
+		}
+		g, b := byName["gold"], byName["bronze"]
+		if g.EntitledCores > b.EntitledCores && b.EntitledCores >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("weighted split never published: gold=%+v bronze=%+v", g, b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if byName["gold"].Weight != 3 || byName["bronze"].Weight != 1 {
+		t.Errorf("declared weights not echoed: %+v", byName)
+	}
+	if byName["gold"].SLOMs != 500 {
+		t.Errorf("declared SLO not echoed: %+v", byName["gold"])
+	}
+	close(stop)
+	wg.Wait()
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`dws_entitled_cores{tenant="gold"}`,
+		`dws_entitled_cores{tenant="bronze"}`,
+		"dws_entitlement_changes_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if s.System().Arbiter() == nil {
+		t.Error("DWS server should run the arbiter by default")
+	}
+}
+
+// TestQoSValidation rejects negative declarations up front.
+func TestQoSValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{Cores: 2, Policy: rt.DWS})
+	for _, req := range []JobRequest{
+		{Tenant: "a", Kernel: "FFT", Weight: -1},
+		{Tenant: "a", Kernel: "FFT", SLOMs: -5},
+	} {
+		resp, _ := submit(t, hs.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400", req, resp.StatusCode)
+		}
+	}
+}
+
+// TestArbiterDisabledByNegativePeriod pins the Config contract: a
+// negative ArbiterPeriod turns arbitration off even under DWS, and the
+// tenant view degrades gracefully (entitled_cores = -1).
+func TestArbiterDisabledByNegativePeriod(t *testing.T) {
+	s, hs := newTestServer(t, Config{
+		Cores: 2, Policy: rt.DWS, MaxTenants: 1, ArbiterPeriod: -1,
+	})
+	if s.System().Arbiter() != nil {
+		t.Fatal("negative ArbiterPeriod left the arbiter running")
+	}
+	if resp, _ := submit(t, hs.URL, JobRequest{Tenant: "a", Kernel: "FFT", Size: 0.02, Weight: 2}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var tenants []TenantInfo
+	getJSON(t, hs.URL+"/v1/tenants", &tenants)
+	if len(tenants) != 1 || tenants[0].EntitledCores != -1 {
+		t.Errorf("want entitled_cores -1 without the arbiter, got %+v", tenants)
+	}
+	// The weight declaration is still recorded for a later arbiter.
+	if tenants[0].Weight != 2 {
+		t.Errorf("weight not recorded: %+v", tenants)
+	}
+}

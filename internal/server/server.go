@@ -57,6 +57,12 @@ type Config struct {
 	// the rt defaults (10ms, and 10×CoordPeriod floored at 2s).
 	CoordPeriod time.Duration
 	LeaseTTL    time.Duration
+	// ArbiterPeriod tunes QoS core arbitration (DWS only): 0 enables it
+	// at the default 50ms, negative disables it. With equal weights the
+	// arbiter's entitlements degenerate to the static HomeCores split,
+	// so enabling it by default changes nothing until a tenant declares
+	// a weight or SLO.
+	ArbiterPeriod time.Duration
 }
 
 func (c *Config) validate() error {
@@ -80,6 +86,12 @@ func (c *Config) validate() error {
 	}
 	if c.MaxSize <= 0 {
 		c.MaxSize = 1.0
+	}
+	switch {
+	case c.ArbiterPeriod < 0:
+		c.ArbiterPeriod = 0 // explicitly disabled
+	case c.ArbiterPeriod == 0 && c.Policy == rt.DWS:
+		c.ArbiterPeriod = 50 * time.Millisecond
 	}
 	return nil
 }
@@ -114,11 +126,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	sys, err := rt.NewSystem(rt.Config{
-		Cores:       cfg.Cores,
-		Programs:    cfg.MaxTenants,
-		Policy:      cfg.Policy,
-		CoordPeriod: cfg.CoordPeriod,
-		LeaseTTL:    cfg.LeaseTTL,
+		Cores:         cfg.Cores,
+		Programs:      cfg.MaxTenants,
+		Policy:        cfg.Policy,
+		CoordPeriod:   cfg.CoordPeriod,
+		LeaseTTL:      cfg.LeaseTTL,
+		ArbiterPeriod: cfg.ArbiterPeriod,
 	})
 	if err != nil {
 		return nil, err
@@ -205,6 +218,27 @@ func New(cfg Config) (*Server, error) {
 			deadSweeps.With().Set(float64(ds))
 			recovered.With().Set(float64(cr))
 		})
+		// QoS arbitration collectors exist only when the arbiter runs:
+		// entitlements per tenant, plus the cumulative count of entitlement
+		// rows the arbiter actually changed (its decision churn).
+		if arb := sys.Arbiter(); arb != nil {
+			entitled := s.reg.NewGauge("dws_entitled_cores",
+				"Cores the QoS arbiter currently entitles the tenant to (its elastic home-block size).", "tenant")
+			entChanges := s.reg.NewGauge("dws_entitlement_changes_total",
+				"Entitlement rows the arbiter has changed (cumulative).")
+			s.reg.OnScrape(func() {
+				ents := s.sys.Entitlements()
+				published := s.sys.EntitlementEpoch() > 0
+				for _, t := range s.tenantList() {
+					e := -1.0
+					if published {
+						e = float64(ents[t.prog.Slot()])
+					}
+					entitled.With(t.name).Set(e)
+				}
+				entChanges.With().Set(float64(arb.Changes()))
+			})
+		}
 		// Evict tenants whose program stopped beating its lease: the
 		// sweeper already freed their cores; here the tenant slot itself is
 		// reclaimed so new tenants can be admitted.
@@ -290,6 +324,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			"unknown kernel %q (have %v)", req.Kernel, kernels.Names())
 		return
 	}
+	if req.Weight < 0 || req.SLOMs < 0 {
+		writeError(w, http.StatusBadRequest,
+			"weight and slo_ms must be non-negative")
+		return
+	}
 	size := req.Size
 	if size <= 0 {
 		size = s.cfg.DefaultSize
@@ -335,6 +374,19 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		}
 		t = newTenant(s, req.Tenant, prog)
 		s.tenants[req.Tenant] = t
+	}
+	// A declared weight or SLO updates the tenant's QoS; omitted fields
+	// keep the current declaration. The arbiter reads these on its next
+	// tick, so entitlements follow within one period.
+	if req.Weight > 0 || req.SLOMs > 0 {
+		weight, slo := t.prog.QoS()
+		if req.Weight > 0 {
+			weight = req.Weight
+		}
+		if req.SLOMs > 0 {
+			slo = time.Duration(req.SLOMs) * time.Millisecond
+		}
+		t.prog.SetQoS(weight, slo)
 	}
 	admitted := false
 	select {
@@ -422,13 +474,14 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, Info{
-		Policy:      s.sys.Policy().String(),
-		Cores:       s.sys.Cores(),
-		MaxTenants:  s.cfg.MaxTenants,
-		FreeSlots:   s.sys.FreeSlots(),
-		QueueDepth:  s.cfg.QueueDepth,
-		DefaultSize: s.cfg.DefaultSize,
-		Kernels:     kernels.Names(),
+		Policy:          s.sys.Policy().String(),
+		Cores:           s.sys.Cores(),
+		MaxTenants:      s.cfg.MaxTenants,
+		FreeSlots:       s.sys.FreeSlots(),
+		QueueDepth:      s.cfg.QueueDepth,
+		DefaultSize:     s.cfg.DefaultSize,
+		Kernels:         kernels.Names(),
+		ArbiterPeriodMS: float64(s.cfg.ArbiterPeriod) / float64(time.Millisecond),
 	})
 }
 

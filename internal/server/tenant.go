@@ -95,6 +95,10 @@ func (t *tenant) failFast(j *job) {
 func (t *tenant) serve(j *job) {
 	queueWait := time.Since(j.enqueued)
 	s := t.srv
+	// Feed the observed queue wait into the program's demand signal: the
+	// QoS arbiter compares it against the tenant's SLO (if declared) when
+	// computing entitlements.
+	t.prog.ReportQueueWait(queueWait)
 	if err := j.ctx.Err(); err != nil {
 		// The deadline passed (or the client went away) while the job was
 		// queued: skip it — the work would be wasted.
@@ -172,13 +176,21 @@ func (t *tenant) info() TenantInfo {
 			}
 		}
 	}
+	entitled := -1
+	if t.srv.sys.Arbiter() != nil && t.srv.sys.EntitlementEpoch() > 0 {
+		entitled = int(t.srv.sys.Entitlements()[t.prog.Slot()])
+	}
+	weight, slo := t.prog.QoS()
 	return TenantInfo{
-		Name:       t.name,
-		QueueDepth: len(t.queue),
-		QueueCap:   cap(t.queue),
-		JobsServed: t.jobsServed.Load(),
-		CoresHeld:  held,
-		Stats:      FromRTStats(t.prog.Stats()),
+		Name:          t.name,
+		QueueDepth:    len(t.queue),
+		QueueCap:      cap(t.queue),
+		JobsServed:    t.jobsServed.Load(),
+		CoresHeld:     held,
+		Weight:        weight,
+		SLOMs:         int64(slo / time.Millisecond),
+		EntitledCores: entitled,
+		Stats:         FromRTStats(t.prog.Stats()),
 	}
 }
 

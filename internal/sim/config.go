@@ -130,6 +130,20 @@ type Config struct {
 	// "resources wasted on useless steals" of §1.
 	SpinContention float64
 
+	// ArbiterPeriodUS, when positive, enables the QoS entitlement arbiter
+	// under DWS: every ArbiterPeriodUS µs the machine folds each program's
+	// demand (queued tasks, active workers) and declared weight into an
+	// entitlement vector in the core allocation table, and coordinators
+	// reclaim against their entitled home block instead of the static k/m
+	// split. With equal weights and every program active the entitlements
+	// equal the HomeCores split, so a run is bit-identical to an
+	// arbiter-disabled one. 0 disables.
+	ArbiterPeriodUS int64
+	// Weights assigns each program an arbitration weight (nil = all 1).
+	// Only meaningful with ArbiterPeriodUS > 0; when set, its length must
+	// equal the number of programs.
+	Weights []float64
+
 	// WorkSharing switches every program from per-worker deques with
 	// stealing to one central per-program task pool (FIFO takes) — the
 	// work-sharing model §4.4 claims DWS generalises to. The sleep/wake
@@ -227,6 +241,17 @@ func (c *Config) Validate() error {
 			if s <= 0 {
 				return fmt.Errorf("%w: non-positive core speed %v", ErrBadConfig, s)
 			}
+		}
+	}
+	if c.ArbiterPeriodUS < 0 {
+		c.ArbiterPeriodUS = 0
+	}
+	if c.ArbiterPeriodUS > 0 && c.Policy != DWS {
+		return fmt.Errorf("%w: ArbiterPeriodUS requires the DWS policy (entitlements live in the core table)", ErrBadConfig)
+	}
+	for _, w := range c.Weights {
+		if w <= 0 {
+			return fmt.Errorf("%w: non-positive program weight %v", ErrBadConfig, w)
 		}
 	}
 	if c.MaxEvents <= 0 {

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"dws/internal/arbiter"
 	"dws/internal/coretable"
 	"dws/internal/task"
 )
@@ -28,6 +29,7 @@ type Machine struct {
 	cores []*Core
 	progs []*Program
 	table *coretable.Table // non-nil only under DWS
+	arb   *arbiter.Arbiter // non-nil only with Config.ArbiterPeriodUS > 0
 
 	stopped bool
 	samples []Sample
@@ -63,6 +65,10 @@ func NewMachine(cfg Config, graphs []*task.Graph) (*Machine, error) {
 			return nil, fmt.Errorf("sim: graph %q: %w", g.Name, err)
 		}
 	}
+	if cfg.Weights != nil && len(cfg.Weights) != len(graphs) {
+		return nil, fmt.Errorf("%w: %d weights for %d programs",
+			ErrBadConfig, len(cfg.Weights), len(graphs))
+	}
 
 	m := &Machine{cfg: cfg}
 	heap.Init(&m.events)
@@ -72,6 +78,9 @@ func NewMachine(cfg Config, graphs []*task.Graph) (*Machine, error) {
 	}
 	if cfg.Policy == DWS {
 		m.table = coretable.NewMem(cfg.Cores)
+		if cfg.ArbiterPeriodUS > 0 {
+			m.arb = arbiter.New(arbiter.Config{Cores: cfg.Cores}, m.table)
+		}
 	}
 
 	homes := homeAllocation(&cfg, graphs)
@@ -285,6 +294,9 @@ func (m *Machine) Run(opts RunOpts) (*Results, error) {
 		if c.cur == nil {
 			m.dispatch(c)
 		}
+	}
+	if m.arb != nil {
+		m.scheduleArbiter()
 	}
 	if opts.SampleUS > 0 {
 		var sample func()

@@ -87,7 +87,9 @@ func (m *Machine) startRun(p *Program, w *Worker) {
 func (m *Machine) regrabHome(p *Program) {
 	switch m.cfg.Policy {
 	case DWS:
-		for _, c := range p.home {
+		// The home block is elastic under the arbiter: re-take whatever the
+		// current entitlement says is ours.
+		for _, c := range m.homeOf(p) {
 			if p.workers[c].state != wSleeping {
 				continue
 			}
@@ -221,9 +223,11 @@ func (m *Machine) coordWakeDWS(p *Program, nw int) {
 			free = append(free, c)
 		}
 	}
-	// Home cores currently borrowed by other programs.
+	// Home cores currently borrowed by other programs. The home block is
+	// the entitled one when the arbiter has published (reclaim stays
+	// home-only; only the home itself is elastic).
 	var borrowed []int
-	for _, c := range p.home {
+	for _, c := range m.homeOf(p) {
 		occ := m.table.Occupant(c)
 		if occ != p.id && occ != 0 && p.workers[c].state == wSleeping {
 			borrowed = append(borrowed, c)

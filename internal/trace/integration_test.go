@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"strings"
 	"testing"
 
 	"dws/internal/sim"
@@ -43,5 +44,43 @@ func TestRecorderOnRealMachine(t *testing.T) {
 	}
 	if done < 2 {
 		t.Errorf("narrow program logged %d run completions, want >= 2", done)
+	}
+}
+
+// TestRecorderEntitleEvents pins the arbiter decision trace format: a
+// weighted DWS co-run with the arbiter enabled must produce classified
+// entitle events carrying the acting program and the decision text.
+func TestRecorderEntitleEvents(t *testing.T) {
+	a := &task.Graph{Name: "a", Root: task.DivideAndConquer(7, 2, 1500, 10, 20)}
+	b := &task.Graph{Name: "b", Root: task.DivideAndConquer(7, 2, 1500, 10, 20)}
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sim.DWS
+	cfg.ArbiterPeriodUS = 1000
+	cfg.Weights = []float64{2, 1}
+	m, err := sim.NewMachine(cfg, []*task.Graph{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Recorder{}
+	m.Trace = r.Hook()
+	if _, err := m.Run(sim.RunOpts{TargetRuns: 2, HorizonUS: 120_000_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	ents := r.ByKind(KindEntitle)
+	if len(ents) == 0 {
+		t.Fatal("no entitle events classified — did the arbiter trace format drift?")
+	}
+	seen := map[int32]bool{}
+	for _, ev := range ents {
+		if ev.Prog < 1 || ev.Prog > 2 {
+			t.Fatalf("entitle event with bad program: %+v", ev)
+		}
+		seen[ev.Prog] = true
+		if !strings.Contains(ev.Text, "entitle") || !strings.Contains(ev.Text, "epoch=") {
+			t.Fatalf("entitle text %q missing decision detail", ev.Text)
+		}
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("entitle rows missing a program: %v", seen)
 	}
 }

@@ -31,6 +31,9 @@ const (
 	KindRunDone
 	// KindPark is the decision record preceding a voluntary sleep.
 	KindPark
+	// KindEntitle: the QoS arbiter published a new entitlement row for a
+	// program (old→new cores, with the batch trigger and epoch in Text).
+	KindEntitle
 )
 
 // String names the kind.
@@ -50,6 +53,8 @@ func (k Kind) String() string {
 		return "run-done"
 	case KindPark:
 		return "park"
+	case KindEntitle:
+		return "entitle"
 	default:
 		return "other"
 	}
@@ -137,6 +142,8 @@ func classify(at int64, format string, args []any) Event {
 	case "p%d w%d park(spin) fs=%d":
 		ev.Kind, ev.Prog, ev.Worker = KindPark, getp(0), geti(1)
 		ev.Core = ev.Worker
+	case "p%d entitle %d->%d (%s epoch=%d)":
+		ev.Kind, ev.Prog = KindEntitle, getp(0)
 	}
 	return ev
 }
