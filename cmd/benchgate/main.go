@@ -1,5 +1,7 @@
-// benchgate compares a fresh benchmark run against a committed baseline
-// and exits non-zero on regressions — the CI tier-2 perf gate.
+// benchgate compares fresh benchmark numbers against committed baselines
+// and exits non-zero on regressions — the CI perf gates.
+//
+// Micro-benchmark mode (the tier-2 hot-path gate):
 //
 //	benchgate -base BENCH_hotpath.json -cur BENCH_hotpath.ci.json [-ns-tol 0.25]
 //
@@ -9,55 +11,130 @@
 // present only in the current run pass (new benchmarks need no baseline
 // yet); baseline entries missing from the run fail the gate so renames
 // cannot silently un-gate themselves.
+//
+// Scenario mode (the multi-policy comparison gate):
+//
+//	benchgate -scenarios -base BENCH_scenarios.json [-cur fresh.json] [-sc-tol 0.10]
+//	benchgate -scenarios -write BENCH_scenarios.json
+//
+// The scenario suite replays every catalog scenario (internal/scenario)
+// under every policy on the simulator's virtual clock — bit-deterministic,
+// so -cur is optional: without it the suite regenerates in-process. The
+// gate fails when DWS regresses against the committed baseline (p95,
+// makespan, or ok-rate) or loses a previously decisive p95 win over
+// another policy. -write regenerates and rewrites the baseline instead of
+// gating.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dws/internal/bench"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		basePath = flag.String("base", "BENCH_hotpath.json", "committed baseline JSON")
-		curPath  = flag.String("cur", "", "fresh benchmark run JSON (required)")
-		nsTol    = flag.Float64("ns-tol", 0.25, "relative ns/op tolerance (0.25 = +25%)")
+		basePath  = fs.String("base", "BENCH_hotpath.json", "committed baseline JSON")
+		curPath   = fs.String("cur", "", "fresh run JSON (required for micro-bench mode; optional for -scenarios)")
+		nsTol     = fs.Float64("ns-tol", 0.25, "relative ns/op tolerance (0.25 = +25%)")
+		scenarios = fs.Bool("scenarios", false, "gate the scenario comparison suite instead of micro-benchmarks")
+		scTol     = fs.Float64("sc-tol", 0.10, "scenario mode: relative p95/makespan tolerance")
+		writePath = fs.String("write", "", "scenario mode: regenerate the suite and write it here instead of gating")
 	)
-	flag.Parse()
-	if *curPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -cur is required")
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	if *scenarios || *writePath != "" {
+		return runScenarios(*basePath, *curPath, *writePath, *scTol, stdout, stderr)
+	}
+	return runMicro(*basePath, *curPath, *nsTol, fs, stdout, stderr)
+}
 
-	base, err := bench.LoadBenchFile(*basePath)
+func runMicro(basePath, curPath string, nsTol float64, fs *flag.FlagSet, stdout, stderr io.Writer) int {
+	if curPath == "" {
+		fmt.Fprintln(stderr, "benchgate: -cur is required")
+		fs.Usage()
+		return 2
+	}
+	base, err := bench.LoadBenchFile(basePath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
 	}
-	cur, err := bench.LoadBenchFile(*curPath)
+	cur, err := bench.LoadBenchFile(curPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
 	}
 
-	fmt.Printf("benchgate: %s vs %s (ns/op tolerance %+.0f%%, allocs/op tolerance 0)\n\n",
-		*basePath, *curPath, 100**nsTol)
-	fmt.Print(bench.FormatComparison(base, cur, *nsTol))
+	fmt.Fprintf(stdout, "benchgate: %s vs %s (ns/op tolerance %+.0f%%, allocs/op tolerance 0)\n\n",
+		basePath, curPath, 100*nsTol)
+	fmt.Fprint(stdout, bench.FormatComparison(base, cur, nsTol))
 
-	regs, missing := bench.CompareBaseline(base, cur, *nsTol)
+	regs, missing := bench.CompareBaseline(base, cur, nsTol)
 	if len(regs) == 0 && len(missing) == 0 {
-		fmt.Printf("\nbenchgate: PASS (%d entries gated)\n", len(base.Entries))
-		return
+		fmt.Fprintf(stdout, "\nbenchgate: PASS (%d entries gated)\n", len(base.Entries))
+		return 0
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, r := range regs {
-		fmt.Printf("benchgate: FAIL %s\n", r)
+		fmt.Fprintf(stdout, "benchgate: FAIL %s\n", r)
 	}
 	for _, m := range missing {
-		fmt.Printf("benchgate: FAIL %s: missing from current run\n", m)
+		fmt.Fprintf(stdout, "benchgate: FAIL %s: missing from current run\n", m)
 	}
-	os.Exit(1)
+	return 1
+}
+
+func runScenarios(basePath, curPath, writePath string, tol float64, stdout, stderr io.Writer) int {
+	var cur *bench.ScenarioFile
+	var err error
+	if curPath != "" {
+		cur, err = bench.LoadScenarioFile(curPath)
+	} else {
+		fmt.Fprintln(stdout, "benchgate: running scenario suite (virtual clock)...")
+		cur, err = bench.RunScenarioSuite(nil)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+
+	if writePath != "" {
+		if err := bench.WriteScenarioFile(writePath, cur); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		fmt.Fprint(stdout, bench.FormatScenarios(cur))
+		fmt.Fprintf(stdout, "benchgate: wrote %d results to %s\n", len(cur.Results), writePath)
+		return 0
+	}
+
+	base, err := bench.LoadScenarioFile(basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "benchgate: %s vs current suite (tolerance %+.0f%%)\n\n", basePath, 100*tol)
+	fmt.Fprint(stdout, bench.FormatScenarios(cur))
+
+	bad := bench.CompareScenarios(base, cur, tol)
+	if len(bad) == 0 {
+		fmt.Fprintf(stdout, "\nbenchgate: PASS (%d scenario results gated)\n", len(base.Results))
+		return 0
+	}
+	fmt.Fprintln(stdout)
+	for _, v := range bad {
+		fmt.Fprintf(stdout, "benchgate: FAIL %s\n", v)
+	}
+	return 1
 }

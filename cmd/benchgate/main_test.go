@@ -1,0 +1,72 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dws/internal/bench"
+	"dws/internal/scenario"
+)
+
+func writeSuite(t *testing.T, name string, dwsP95 float64) string {
+	t.Helper()
+	f := &bench.ScenarioFile{Cores: 16, Policies: []string{"DWS", "ABP"}}
+	for _, e := range []struct {
+		pol string
+		p95 float64
+	}{{"DWS", dwsP95}, {"ABP", 100}} {
+		f.Results = append(f.Results, &scenario.Result{
+			Scenario: "steady", Policy: e.pol, Substrate: "sim",
+			Sent: 50, OK: 50,
+			Latency:    scenario.LatencyMS{P50: e.p95 / 2, P95: e.p95},
+			MakespanMS: 900,
+		})
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := bench.WriteScenarioFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScenarioGateExitCodes pins the acceptance criterion: a clean run
+// passes, a planted 2x DWS p95 regression fails the gate with exit 1.
+func TestScenarioGateExitCodes(t *testing.T) {
+	base := writeSuite(t, "base.json", 40)
+	clean := writeSuite(t, "clean.json", 40)
+	planted := writeSuite(t, "planted.json", 80)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-scenarios", "-base", base, "-cur", clean}, &out, &errOut); code != 0 {
+		t.Fatalf("clean gate: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("clean gate output missing PASS:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-scenarios", "-base", base, "-cur", planted}, &out, &errOut); code != 1 {
+		t.Fatalf("planted regression: exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "p95") {
+		t.Fatalf("planted regression output missing FAIL/p95 lines:\n%s", out.String())
+	}
+}
+
+func TestUsageAndLoadErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	// Micro mode without -cur is a usage error.
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("missing -cur: exit %d, want 2", code)
+	}
+	// Unreadable baseline in scenario mode is a load error.
+	if code := run([]string{"-scenarios", "-base", "does-not-exist.json",
+		"-cur", writeSuite(t, "c.json", 40)}, &out, &errOut); code != 2 {
+		t.Fatalf("missing baseline: exit %d, want 2", code)
+	}
+	// Bad flag.
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

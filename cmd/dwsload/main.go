@@ -1,209 +1,197 @@
-// Command dwsload is an open-loop load generator for dwsd: it fires job
-// submissions at a fixed aggregate request rate — independent of how fast
-// the server answers, the honest way to measure a served system — and
-// reports per-tenant and overall throughput, rejection counts, and
-// latency percentiles, labeled with the server's scheduling policy.
+// Command dwsload is an open-loop load generator for dwsd, built on the
+// scenario engine (internal/scenario): every mode compiles or loads a
+// trace and replays it with the live runner, so ad-hoc load, catalog
+// scenarios, and recorded traces all share one execution path and one
+// report.
 //
-// Example (two co-running tenants, the paper's mix (1, 8), 20 req/s):
+// Ad-hoc mode generates per-tenant Poisson (or uniform) arrivals from the
+// classic flags, deterministically in -seed:
 //
 //	dwsd -cores 8 -policy DWS &
-//	dwsload -rate 20 -duration 15s -tenants alice=FFT,bob=Mergesort -size 0.1
+//	dwsload -rate 20 -duration 15s -tenants alice=FFT,bob=Mergesort -size 0.1 -seed 7
 //
-// Re-run against dwsd -policy ABP (etc.) to compare policies under the
-// same served load.
+// Catalog and replay modes drive the committed comparison scenarios:
+//
+//	dwsload -scenario bursty-pareto -timescale 1.0
+//	dwsload -replay trace.jsonl
+//	dwsload -scenario gold-qos -out gold.jsonl   # compile only, no server
+//
+// The report counts 429 rejections and deadline misses per tenant
+// separately from successful-completion latencies, and snapshots the
+// server's tenant view (cores held, QoS entitlement, queue depth) so the
+// latency split is explainable, not just visible.
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
-	"sync"
 	"time"
 
+	"dws/internal/scenario"
 	"dws/internal/server"
-	"dws/internal/stats"
 )
-
-type result struct {
-	tenant  string
-	code    int
-	err     bool
-	totalMS float64 // client-observed end-to-end latency
-	queueMS float64 // server-reported queue wait
-	runMS   float64 // server-reported run time
-}
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8080", "dwsd base URL")
-		rate     = flag.Float64("rate", 20, "aggregate submission rate (req/s), open loop")
-		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
-		tenants  = flag.String("tenants", "alice=FFT,bob=Mergesort", "tenant=kernel pairs, round-robin")
-		size     = flag.Float64("size", 0.1, "job input scale")
-		deadline = flag.Duration("deadline", 0, "per-job deadline (0 = server default)")
-		weights  = flag.String("weights", "", "tenant=weight QoS declarations, e.g. gold=2,bronze=1 (sent with every job)")
+		addr      = flag.String("addr", "http://localhost:8080", "dwsd base URL")
+		rate      = flag.Float64("rate", 20, "ad-hoc: aggregate submission rate (req/s), split across tenants")
+		duration  = flag.Duration("duration", 10*time.Second, "ad-hoc: how long to generate load")
+		tenants   = flag.String("tenants", "alice=FFT,bob=Mergesort", "ad-hoc: tenant=kernel pairs")
+		size      = flag.Float64("size", 0.1, "ad-hoc: job input scale")
+		deadline  = flag.Duration("deadline", 0, "ad-hoc: per-job deadline (0 = server default)")
+		weights   = flag.String("weights", "", "ad-hoc: tenant=weight QoS declarations, e.g. gold=2,bronze=1")
+		seed      = flag.Int64("seed", 1, "RNG seed for arrivals and sizes (same seed = same trace)")
+		arrival   = flag.String("arrival", "poisson", "ad-hoc arrival process: poisson or uniform")
+		scName    = flag.String("scenario", "", "replay a catalog scenario by name instead of ad-hoc load (see -list)")
+		replay    = flag.String("replay", "", "replay a trace file (.jsonl or .csv) instead of ad-hoc load")
+		out       = flag.String("out", "", "write the compiled trace here and exit without replaying")
+		timescale = flag.Float64("timescale", 1.0, "trace-time to wall-time ratio (0.5 = replay 2x faster)")
+		list      = flag.Bool("list", false, "list catalog scenario names and exit")
 	)
 	flag.Parse()
 
-	pairs, err := parseTenants(*tenants)
-	if err != nil {
-		fatal(err)
+	if *list {
+		for _, name := range scenario.CatalogNames() {
+			fmt.Println(name)
+		}
+		return
 	}
-	weightOf, err := parseWeights(*weights)
-	if err != nil {
-		fatal(err)
+	if *scName != "" && *replay != "" {
+		fatal(fmt.Errorf("-scenario and -replay are mutually exclusive"))
 	}
-	if *rate <= 0 {
-		fatal(fmt.Errorf("rate must be positive"))
-	}
-
-	info, err := fetchInfo(*addr)
-	if err != nil {
-		fatal(fmt.Errorf("cannot reach dwsd at %s: %w", *addr, err))
-	}
-	fmt.Printf("dwsload: %v req/s for %v against %s (policy=%s cores=%d queue=%d)\n",
-		*rate, *duration, *addr, info.Policy, info.Cores, info.QueueDepth)
-
-	client := &http.Client{} // per-job deadlines come from the server side
-	interval := time.Duration(float64(time.Second) / *rate)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	stop := time.After(*duration)
 
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		results []result
+		tr  *scenario.Trace
+		err error
 	)
-	sent := 0
-	begin := time.Now()
-loop:
-	for {
-		select {
-		case <-stop:
-			break loop
-		case <-ticker.C:
-			p := pairs[sent%len(pairs)]
-			sent++
-			wg.Add(1)
-			go func(tenant, kernel string) {
-				defer wg.Done()
-				r := fire(client, *addr, server.JobRequest{
-					Tenant:     tenant,
-					Kernel:     kernel,
-					Size:       *size,
-					DeadlineMS: int64(*deadline / time.Millisecond),
-					Weight:     weightOf[tenant],
-				})
-				mu.Lock()
-				results = append(results, r)
-				mu.Unlock()
-			}(p[0], p[1])
+	switch {
+	case *replay != "":
+		tr, err = scenario.LoadFile(*replay)
+	case *scName != "":
+		var spec scenario.Spec
+		spec, err = scenario.SpecByName(*scName)
+		if err != nil {
+			break
+		}
+		if *seed != 1 {
+			spec.Seed = *seed // override the catalog seed only when asked
+		}
+		tr, err = spec.Compile()
+	default:
+		var spec *scenario.Spec
+		spec, err = adhocSpec(*rate, *duration, *tenants, *weights, *size, *deadline, *seed, *arrival)
+		if err == nil {
+			tr, err = spec.Compile()
 		}
 	}
-	wg.Wait() // open loop stops *sending*; in-flight jobs still finish
-	elapsed := time.Since(begin)
+	if err != nil {
+		fatal(err)
+	}
 
-	// Snapshot the server-side tenant view (cores held, entitlement,
-	// queue depth) so the report shows *why* the latency split looks the
-	// way it does, not just the split itself.
+	if *out != "" {
+		if err := scenario.WriteFile(*out, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dwsload: wrote %d events (%d tenants) to %s\n",
+			len(tr.Events), len(tr.Tenants()), *out)
+		return
+	}
+
+	res, err := scenario.RunLive(tr, scenario.LiveOptions{
+		BaseURL:   *addr,
+		TimeScale: *timescale,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("dwsload: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\n%s\n\n", res)
+	fmt.Print(res.Table())
+
+	// Snapshot the server-side tenant view (cores held, entitlement, queue
+	// depth) so the report shows *why* the latency split looks the way it
+	// does, not just the split itself.
 	tinfos, err := fetchTenants(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dwsload: tenant snapshot failed: %v\n", err)
+		return
 	}
-	report(os.Stdout, info, pairs, results, tinfos, sent, elapsed)
+	fmt.Print(snapshotTable(tinfos))
 }
 
-// fire submits one job and classifies the outcome.
-func fire(client *http.Client, addr string, req server.JobRequest) result {
-	body, _ := json.Marshal(req)
-	start := time.Now()
-	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
-	r := result{tenant: req.Tenant, totalMS: float64(time.Since(start)) / float64(time.Millisecond)}
+// adhocSpec translates the classic dwsload flags into a scenario spec:
+// each tenant gets an equal share of the aggregate rate and its own
+// seeded arrival stream.
+func adhocSpec(rate float64, duration time.Duration, tenants, weights string, size float64, deadline time.Duration, seed int64, arrival string) (*scenario.Spec, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("rate must be positive")
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("duration must be positive")
+	}
+	pairs, err := parseTenants(tenants)
 	if err != nil {
-		r.err = true
-		return r
+		return nil, err
 	}
-	defer resp.Body.Close()
-	r.code = resp.StatusCode
-	var res server.JobResult
-	if json.NewDecoder(resp.Body).Decode(&res) == nil && resp.StatusCode == http.StatusOK {
-		r.queueMS, r.runMS = res.QueueMS, res.RunMS
+	weightOf, err := parseWeights(weights)
+	if err != nil {
+		return nil, err
 	}
-	io.Copy(io.Discard, resp.Body)
-	return r
+	var kind scenario.ArrivalKind
+	switch arrival {
+	case "poisson":
+		kind = scenario.ArrivePoisson
+	case "uniform":
+		kind = scenario.ArriveUniform
+	default:
+		return nil, fmt.Errorf("bad -arrival %q (want poisson or uniform)", arrival)
+	}
+	spec := &scenario.Spec{
+		Name:       "adhoc",
+		Seed:       seed,
+		DurationUS: duration.Microseconds(),
+	}
+	for _, p := range pairs {
+		spec.Tenants = append(spec.Tenants, scenario.TenantSpec{
+			Name:       p[0],
+			Kernel:     p[1],
+			Arrival:    scenario.Arrival{Kind: kind, RateHz: rate / float64(len(pairs))},
+			Size:       scenario.Size{Kind: scenario.SizeFixed, Mean: size},
+			DeadlineUS: deadline.Microseconds(),
+			Weight:     weightOf[p[0]],
+		})
+	}
+	return spec, nil
 }
 
-// report renders the per-tenant and overall table. The last three columns
-// come from the server's end-of-run tenant snapshot: the core-table share
-// the tenant held, the cores the QoS arbiter entitled it to (w= prefixes
-// its declared weight; "-" when arbitration is off), and the admission
-// queue depth left behind.
-func report(w io.Writer, info server.Info, pairs [][2]string, results []result, tinfos []server.TenantInfo, sent int, elapsed time.Duration) {
-	kernelOf := make(map[string]string, len(pairs))
-	for _, p := range pairs {
-		kernelOf[p[0]] = p[1]
+// snapshotTable renders the end-of-run server tenant view: the core-table
+// share each tenant held, the cores the QoS arbiter entitled it to (w=
+// prefixes its declared weight; "-" when arbitration is off), and the
+// admission queue depth left behind.
+func snapshotTable(tinfos []server.TenantInfo) string {
+	if len(tinfos) == 0 {
+		return ""
 	}
-	infoOf := make(map[string]server.TenantInfo, len(tinfos))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\nserver tenant snapshot:\n%-12s %6s %12s %6s\n", "tenant", "cores", "entitled", "queue")
 	for _, ti := range tinfos {
-		infoOf[ti.Name] = ti
-	}
-	byTenant := make(map[string][]result)
-	for _, r := range results {
-		byTenant[r.tenant] = append(byTenant[r.tenant], r)
-	}
-	names := make([]string, 0, len(byTenant))
-	for n := range byTenant {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-
-	fmt.Fprintf(w, "\npolicy=%s elapsed=%.1fs sent=%d (open loop)\n", info.Policy, elapsed.Seconds(), sent)
-	fmt.Fprintf(w, "%-10s %-10s %6s %6s %6s %5s %10s %9s %9s %9s %6s %8s %5s\n",
-		"tenant", "kernel", "sent", "ok", "429", "other", "thr(job/s)", "p50(ms)", "p95(ms)", "p99(ms)",
-		"cores", "entitled", "queue")
-	line := func(name, kernel string, rs []result) {
-		var ok, rejected, other int
-		var lat []float64
-		for _, r := range rs {
-			switch {
-			case r.code == http.StatusOK:
-				ok++
-				lat = append(lat, r.totalMS)
-			case r.code == http.StatusTooManyRequests:
-				rejected++
-			default:
-				other++
-			}
+		cores, entitled := "-", "-"
+		if ti.CoresHeld >= 0 {
+			cores = fmt.Sprintf("%d", ti.CoresHeld)
 		}
-		cores, entitled, queue := "-", "-", "-"
-		if ti, found := infoOf[name]; found {
-			if ti.CoresHeld >= 0 {
-				cores = fmt.Sprintf("%d", ti.CoresHeld)
-			}
-			if ti.EntitledCores >= 0 {
-				entitled = fmt.Sprintf("%d(w=%g)", ti.EntitledCores, ti.Weight)
-			}
-			queue = fmt.Sprintf("%d", ti.QueueDepth)
+		if ti.EntitledCores >= 0 {
+			entitled = fmt.Sprintf("%d(w=%g)", ti.EntitledCores, ti.Weight)
 		}
-		fmt.Fprintf(w, "%-10s %-10s %6d %6d %6d %5d %10.2f %9.1f %9.1f %9.1f %6s %8s %5s\n",
-			name, kernel, len(rs), ok, rejected, other,
-			float64(ok)/elapsed.Seconds(),
-			stats.Percentile(lat, 50), stats.Percentile(lat, 95), stats.Percentile(lat, 99),
-			cores, entitled, queue)
+		fmt.Fprintf(&sb, "%-12s %6s %12s %6d\n", ti.Name, cores, entitled, ti.QueueDepth)
 	}
-	var all []result
-	for _, name := range names {
-		line(name, kernelOf[name], byTenant[name])
-		all = append(all, byTenant[name]...)
-	}
-	line("overall", "-", all)
+	return sb.String()
 }
 
 func fetchTenants(addr string) ([]server.TenantInfo, error) {
@@ -217,19 +205,6 @@ func fetchTenants(addr string) ([]server.TenantInfo, error) {
 	}
 	var tis []server.TenantInfo
 	return tis, json.NewDecoder(resp.Body).Decode(&tis)
-}
-
-func fetchInfo(addr string) (server.Info, error) {
-	resp, err := http.Get(addr + "/v1/info")
-	if err != nil {
-		return server.Info{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return server.Info{}, fmt.Errorf("GET /v1/info: %s", resp.Status)
-	}
-	var info server.Info
-	return info, json.NewDecoder(resp.Body).Decode(&info)
 }
 
 func parseWeights(s string) (map[string]float64, error) {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestAdhocSpecCompilesDeterministically(t *testing.T) {
+	spec, err := adhocSpec(20, 5*time.Second, "alice=FFT,bob=Mergesort", "alice=2",
+		0.1, 200*time.Millisecond, 7, "poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Tenants) != 2 || spec.Tenants[0].Arrival.RateHz != 10 {
+		t.Fatalf("rate not split across tenants: %+v", spec.Tenants)
+	}
+	if spec.Tenants[0].Weight != 2 || spec.Tenants[1].Weight != 0 {
+		t.Fatalf("weights not applied: %+v", spec.Tenants)
+	}
+	if spec.Tenants[0].DeadlineUS != 200_000 {
+		t.Fatalf("deadline not applied: %+v", spec.Tenants[0])
+	}
+	a, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := spec.Compile()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed compiled different traces")
+	}
+	if len(a.Events) < 50 {
+		t.Fatalf("20 req/s over 5s produced only %d events", len(a.Events))
+	}
+	spec.Seed = 8
+	c, _ := spec.Compile()
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds compiled identical Poisson arrivals")
+	}
+}
+
+func TestAdhocSpecRejects(t *testing.T) {
+	cases := []struct {
+		rate    float64
+		dur     time.Duration
+		tenants string
+		weights string
+		arrival string
+	}{
+		{0, time.Second, "a=FFT", "", "poisson"},
+		{10, 0, "a=FFT", "", "poisson"},
+		{10, time.Second, "", "", "poisson"},
+		{10, time.Second, "nokernel", "", "poisson"},
+		{10, time.Second, "a=FFT", "a=-1", "poisson"},
+		{10, time.Second, "a=FFT", "broken", "poisson"},
+		{10, time.Second, "a=FFT", "", "zipf"},
+	}
+	for i, c := range cases {
+		if _, err := adhocSpec(c.rate, c.dur, c.tenants, c.weights, 0.1, 0, 1, c.arrival); err == nil {
+			t.Errorf("case %d: bad flags accepted", i)
+		}
+	}
+}

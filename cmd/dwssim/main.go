@@ -7,6 +7,13 @@
 //	dwssim -bench p-1,p-8 -policy DWS
 //	dwssim -bench p-6 -policy ABP -runs 6
 //	dwssim -bench p-1,p-8 -policy DWS -tsleep 128 -trace | head -100
+//
+// With -scenario, dwssim instead replays a scenario trace open-loop on
+// the virtual clock — a catalog name (see internal/scenario) or a
+// .jsonl/.csv trace file — under the configured machine and policy:
+//
+//	dwssim -scenario bursty-pareto -policy GO
+//	dwssim -scenario trace.jsonl -cores 32
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"dws/internal/scenario"
 	"dws/internal/sim"
 	"dws/internal/task"
 	"dws/internal/trace"
@@ -24,7 +32,8 @@ import (
 func main() {
 	var (
 		benchIDs  = flag.String("bench", "p-1,p-8", "comma-separated Table 2 IDs (p-1..p-8)")
-		policy    = flag.String("policy", "DWS", "ABP|EP|DWS|DWS-NC")
+		policy    = flag.String("policy", "DWS", "ABP|EP|DWS|DWS-NC|BWS|GO")
+		scenName  = flag.String("scenario", "", "replay a catalog scenario or trace file instead of -bench (closed loop)")
 		runs      = flag.Int("runs", 4, "completed runs per program")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		showTrace = flag.Bool("trace", false, "print scheduling events to stderr")
@@ -52,6 +61,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *scenName != "" {
+		cfg := sim.DefaultConfig()
+		cfg.Cores, cfg.SocketSize, cfg.Policy = *cores, *sockets, pol
+		cfg.QuantumUS, cfg.StealCostUS, cfg.StealYieldUS = *quantum, *steal, *yield
+		cfg.WakeLatencyUS, cfg.TSleep, cfg.CoordPeriodUS = *wake, *tsleep, *coord
+		cfg.StrongYield = *strongY
+		cfg.CachePenalty, cfg.CacheWarmUS, cfg.LLCPenalty = *penalty, *warm, *llc
+		cfg.Seed = *seed
+		runScenario(*scenName, cfg)
+		return
+	}
+
 	var graphs []*task.Graph
 	for _, id := range strings.Split(*benchIDs, ",") {
 		b, err := workload.ByID(strings.TrimSpace(id))
@@ -127,6 +149,28 @@ func main() {
 	}
 }
 
+// runScenario replays a scenario trace (catalog name or .jsonl/.csv file)
+// through the open-loop simulator and prints the per-tenant report.
+func runScenario(name string, cfg sim.Config) {
+	var (
+		tr  *scenario.Trace
+		err error
+	)
+	if strings.HasSuffix(name, ".jsonl") || strings.HasSuffix(name, ".csv") {
+		tr, err = scenario.LoadFile(name)
+	} else {
+		tr, err = scenario.CompileByName(name)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	res, err := scenario.RunSim(tr, scenario.SimOptions{Config: cfg})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\n\n%s", res, res.Table())
+}
+
 func parsePolicy(s string) (sim.Policy, error) {
 	switch strings.ToUpper(s) {
 	case "ABP":
@@ -139,6 +183,8 @@ func parsePolicy(s string) (sim.Policy, error) {
 		return sim.DWSNC, nil
 	case "BWS":
 		return sim.BWS, nil
+	case "GO":
+		return sim.GO, nil
 	}
 	return 0, fmt.Errorf("unknown policy %q", s)
 }

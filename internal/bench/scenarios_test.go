@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dws/internal/scenario"
+)
+
+// mkScenarioFile builds a two-policy suite file with the given p95s, one
+// scenario per map entry, 100/100 jobs ok.
+func mkScenarioFile(p95 map[string]map[string]float64) *ScenarioFile {
+	f := &ScenarioFile{Cores: 16, Policies: []string{"DWS", "ABP"}}
+	for _, sc := range []string{"alpha", "beta"} {
+		pols, ok := p95[sc]
+		if !ok {
+			continue
+		}
+		for _, pol := range f.Policies {
+			v, ok := pols[pol]
+			if !ok {
+				continue
+			}
+			f.Results = append(f.Results, &scenario.Result{
+				Scenario: sc, Policy: pol, Substrate: "sim",
+				Sent: 100, OK: 100,
+				Latency:    scenario.LatencyMS{P50: v / 2, P95: v, P99: v * 2},
+				Fairness:   0.9,
+				MakespanMS: 1000,
+			})
+		}
+	}
+	return f
+}
+
+func TestCompareScenariosPass(t *testing.T) {
+	base := mkScenarioFile(map[string]map[string]float64{
+		"alpha": {"DWS": 50, "ABP": 100},
+		"beta":  {"DWS": 80, "ABP": 82},
+	})
+	cur := mkScenarioFile(map[string]map[string]float64{
+		"alpha": {"DWS": 52, "ABP": 100},
+		"beta":  {"DWS": 84, "ABP": 82}, // +5% and no decisive base win: fine
+	})
+	if bad := CompareScenarios(base, cur, 0.10); len(bad) != 0 {
+		t.Fatalf("clean run flagged: %v", bad)
+	}
+}
+
+func TestCompareScenariosP95AndMakespan(t *testing.T) {
+	base := mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 50, "ABP": 100}})
+	cur := mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 100, "ABP": 100}})
+	bad := CompareScenarios(base, cur, 0.10)
+	if len(bad) == 0 || !strings.Contains(strings.Join(bad, "\n"), "p95") {
+		t.Fatalf("2x DWS p95 not flagged: %v", bad)
+	}
+	// ABP regressing is not gated.
+	cur = mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 50, "ABP": 500}})
+	if bad := CompareScenarios(base, cur, 0.10); len(bad) != 0 {
+		t.Fatalf("non-gated policy regression flagged: %v", bad)
+	}
+	// Makespan blowup is gated.
+	cur = mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 50, "ABP": 100}})
+	cur.Results[0].MakespanMS = 2000
+	bad = CompareScenarios(base, cur, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "makespan") {
+		t.Fatalf("makespan regression not flagged: %v", bad)
+	}
+}
+
+func TestCompareScenariosLostWin(t *testing.T) {
+	// Base: DWS decisively beats ABP (50 vs 100). Cur: DWS 54 is within
+	// the 10% tolerance but now loses to ABP at 53 — a lost win.
+	base := mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 50, "ABP": 100}})
+	cur := mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 54, "ABP": 53}})
+	bad := CompareScenarios(base, cur, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "lost win") {
+		t.Fatalf("lost win not flagged: %v", bad)
+	}
+	// A near-tie in the baseline (not decisive) carries no held win.
+	base = mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 98, "ABP": 100}})
+	cur = mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 101, "ABP": 100}})
+	if bad := CompareScenarios(base, cur, 0.10); len(bad) != 0 {
+		t.Fatalf("near-tie flap flagged: %v", bad)
+	}
+}
+
+func TestCompareScenariosMissingAndOKRate(t *testing.T) {
+	base := mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 50, "ABP": 100}})
+	cur := &ScenarioFile{Policies: base.Policies, Results: base.Results[:1]} // drop ABP
+	bad := CompareScenarios(base, cur, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("missing entry not flagged: %v", bad)
+	}
+	cur = mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 50, "ABP": 100}})
+	cur.Results[0].OK = 90
+	cur.Results[0].Expired = 10
+	bad = CompareScenarios(base, cur, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "ok-rate") {
+		t.Fatalf("ok-rate drop not flagged: %v", bad)
+	}
+}
+
+func TestScenarioFileRoundTrip(t *testing.T) {
+	f := mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 50, "ABP": 100}})
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := WriteScenarioFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenarioFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(f.Results) || got.Results[0].Latency.P95 != 50 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	out := FormatScenarios(got)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "* DWS") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	if _, err := LoadScenarioFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}
+
+// TestRunScenarioSuiteSmoke regenerates the full suite once: every
+// catalog scenario must produce one result per policy with jobs sent.
+func TestRunScenarioSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	var lines int
+	f, err := RunScenarioSuite(func(string, ...any) { lines++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := len(scenario.CatalogNames()) * len(ScenarioPolicies)
+	if len(f.Results) != wantN || lines != wantN {
+		t.Fatalf("suite produced %d results (%d log lines), want %d", len(f.Results), lines, wantN)
+	}
+	for _, r := range f.Results {
+		if r.Sent == 0 {
+			t.Fatalf("degenerate result %v", r)
+		}
+	}
+	// Self-comparison is clean by construction.
+	if bad := CompareScenarios(f, f, 0.10); len(bad) != 0 {
+		t.Fatalf("self comparison flagged: %v", bad)
+	}
+}

@@ -86,10 +86,18 @@ func Catalog() []Spec {
 	}
 }
 
-// ByName looks a kernel up case-insensitively. The second result reports
-// whether the name is known.
+// all returns the Table 2 catalog followed by the synthetic shapes — the
+// full lookup space of ByName/Names. Catalog itself stays paper-only so
+// Table 2 experiments iterate exactly the paper's eight benchmarks.
+func all() []Spec {
+	return append(Catalog(), synthetics()...)
+}
+
+// ByName looks a kernel up case-insensitively, searching the Table 2
+// catalog and the synthetic shapes. The second result reports whether the
+// name is known.
 func ByName(name string) (Spec, bool) {
-	for _, s := range Catalog() {
+	for _, s := range all() {
 		if strings.EqualFold(s.Name, name) {
 			return s, true
 		}
@@ -97,10 +105,10 @@ func ByName(name string) (Spec, bool) {
 	return Spec{}, false
 }
 
-// Names returns the catalog's kernel names, sorted.
+// Names returns all runnable kernel names (paper + synthetic), sorted.
 func Names() []string {
 	var ns []string
-	for _, s := range Catalog() {
+	for _, s := range all() {
 		ns = append(ns, s.Name)
 	}
 	sort.Strings(ns)

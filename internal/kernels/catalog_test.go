@@ -18,7 +18,7 @@ func TestCatalogRunnable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, spec := range Catalog() {
+	for _, spec := range all() {
 		if err := p.Run(spec.NewTask(0.02)); err != nil {
 			t.Fatalf("%s: %v", spec.Name, err)
 		}
@@ -32,7 +32,13 @@ func TestCatalogByName(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Error("ByName accepted an unknown kernel")
 	}
-	if n := len(Names()); n != 8 {
-		t.Errorf("catalog has %d kernels, want the paper's 8", n)
+	if n := len(Names()); n != 11 {
+		t.Errorf("lookup space has %d kernels, want 8 paper + 3 synthetic", n)
+	}
+	if n := len(Catalog()); n != 8 {
+		t.Errorf("Catalog has %d kernels, want exactly the paper's 8", n)
+	}
+	if _, ok := ByName("bursty"); !ok {
+		t.Error("synthetic shapes should resolve through ByName")
 	}
 }

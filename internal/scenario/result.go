@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dws/internal/stats"
+)
+
+// Outcome is one replayed job's terminal record, in the vocabulary shared
+// by both substrates (sim.JobStatus and the dwsd HTTP statuses both map
+// onto it).
+type Outcome struct {
+	// Tenant names the submitting program.
+	Tenant string
+	// Status is "ok", "late", "expired", "rejected", or "error".
+	Status string
+	// LatencyMS is end-to-end latency (queue wait + run) for ok/late jobs;
+	// 0 otherwise.
+	LatencyMS float64
+}
+
+// LatencyMS summarises an OK-latency sample.
+type LatencyMS struct {
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P99_9 float64 `json:"p99_9"`
+}
+
+func summarizeLatency(ms []float64) LatencyMS {
+	if len(ms) == 0 {
+		return LatencyMS{}
+	}
+	return LatencyMS{
+		Mean:  stats.Mean(ms),
+		P50:   stats.Percentile(ms, 50),
+		P95:   stats.Percentile(ms, 95),
+		P99:   stats.Percentile(ms, 99),
+		P99_9: stats.Percentile(ms, 99.9),
+	}
+}
+
+// TenantResult is one tenant's outcome tally over a replay.
+type TenantResult struct {
+	Tenant string `json:"tenant"`
+	// Sent counts every job event replayed for the tenant.
+	Sent int `json:"sent"`
+	// OK completed within deadline; Late completed past it; Expired timed
+	// out while queued; Rejected were refused at admission (429); Errors
+	// covers transport or server failures (live replay only).
+	OK       int `json:"ok"`
+	Late     int `json:"late"`
+	Expired  int `json:"expired"`
+	Rejected int `json:"rejected"`
+	Errors   int `json:"errors"`
+	// Latency summarises completed (ok + late) jobs only: refused and
+	// expired jobs never ran, so mixing them in would fabricate latencies.
+	Latency LatencyMS `json:"latency_ms"`
+}
+
+// Result is one (scenario, policy) replay's summary.
+type Result struct {
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	// Substrate is "sim" or "live".
+	Substrate string `json:"substrate"`
+
+	Sent     int `json:"sent"`
+	OK       int `json:"ok"`
+	Late     int `json:"late"`
+	Expired  int `json:"expired"`
+	Rejected int `json:"rejected"`
+	Errors   int `json:"errors"`
+
+	// Latency summarises completed jobs across all tenants.
+	Latency LatencyMS `json:"latency_ms"`
+	// Fairness is the Jain index over per-tenant mean completed-job
+	// latencies (1 = identical means; tenants with no completed job are
+	// excluded).
+	Fairness float64 `json:"fairness"`
+	// MakespanMS is the time from trace start to the last job completion.
+	MakespanMS float64 `json:"makespan_ms"`
+
+	Tenants []TenantResult `json:"tenants"`
+}
+
+// OKRate is the fraction of sent jobs that completed within deadline.
+func (r *Result) OKRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.OK) / float64(r.Sent)
+}
+
+// Summarize folds raw outcomes into a Result. makespanMS is the replay's
+// end-to-end duration as measured by the runner (the virtual clock of the
+// last completion, or wall time live).
+func Summarize(scenarioName, policy, substrate string, outcomes []Outcome, makespanMS float64) *Result {
+	r := &Result{Scenario: scenarioName, Policy: policy, Substrate: substrate, MakespanMS: makespanMS}
+	byTenant := map[string]*TenantResult{}
+	var order []string
+	lat := map[string][]float64{}
+	for _, o := range outcomes {
+		tr := byTenant[o.Tenant]
+		if tr == nil {
+			tr = &TenantResult{Tenant: o.Tenant}
+			byTenant[o.Tenant] = tr
+			order = append(order, o.Tenant)
+		}
+		tr.Sent++
+		r.Sent++
+		switch o.Status {
+		case "ok":
+			tr.OK++
+			r.OK++
+		case "late":
+			tr.Late++
+			r.Late++
+		case "expired":
+			tr.Expired++
+			r.Expired++
+		case "rejected":
+			tr.Rejected++
+			r.Rejected++
+		default:
+			tr.Errors++
+			r.Errors++
+		}
+		if o.Status == "ok" || o.Status == "late" {
+			lat[o.Tenant] = append(lat[o.Tenant], o.LatencyMS)
+		}
+	}
+	var all []float64
+	var means []float64
+	for _, name := range order {
+		tr := byTenant[name]
+		tr.Latency = summarizeLatency(lat[name])
+		if len(lat[name]) > 0 {
+			means = append(means, tr.Latency.Mean)
+			all = append(all, lat[name]...)
+		}
+		r.Tenants = append(r.Tenants, *tr)
+	}
+	r.Latency = summarizeLatency(all)
+	r.Fairness = stats.JainIndex(means)
+	return r
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s [%s]: sent=%d ok=%d late=%d expired=%d rejected=%d err=%d p95=%.1fms jain=%.3f makespan=%.0fms",
+		r.Scenario, r.Policy, r.Substrate, r.Sent, r.OK, r.Late, r.Expired, r.Rejected, r.Errors,
+		r.Latency.P95, r.Fairness, r.MakespanMS)
+}
+
+// Table renders the per-tenant breakdown.
+func (r *Result) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %6s %6s %6s %7s %8s %6s %9s %9s %9s\n",
+		"tenant", "sent", "ok", "late", "expired", "rejected", "err", "p50ms", "p95ms", "p99ms")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&sb, "%-12s %6d %6d %6d %7d %8d %6d %9.2f %9.2f %9.2f\n",
+			t.Tenant, t.Sent, t.OK, t.Late, t.Expired, t.Rejected, t.Errors,
+			t.Latency.P50, t.Latency.P95, t.Latency.P99)
+	}
+	return sb.String()
+}
+
+// RankByP95 orders policy results best-first by completed-latency p95,
+// breaking ties by ok-count then name (results must share a scenario).
+func RankByP95(results []*Result) []*Result {
+	rs := append([]*Result(nil), results...)
+	sort.SliceStable(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Latency.P95 != b.Latency.P95 {
+			return a.Latency.P95 < b.Latency.P95
+		}
+		if a.OK != b.OK {
+			return a.OK > b.OK
+		}
+		return a.Policy < b.Policy
+	})
+	return rs
+}

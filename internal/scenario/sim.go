@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"fmt"
+
+	"dws/internal/sim"
+	"dws/internal/task"
+	"dws/internal/workload"
+)
+
+// SimOptions configures a simulated replay.
+type SimOptions struct {
+	// Config is the simulated machine (sim.DefaultConfig() + policy is the
+	// usual starting point). Weights and ArbiterPeriodUS are filled from
+	// the trace's weight declarations when the policy is DWS.
+	Config sim.Config
+	// QueueCap bounds each tenant's admission queue (≤0 = 16, matching
+	// dwsd).
+	QueueCap int
+	// HorizonUS aborts a runaway replay; ≤0 derives a generous bound from
+	// the trace length.
+	HorizonUS int64
+}
+
+// defaultArbiterPeriodUS enables the QoS arbiter for weighted DWS traces.
+const defaultArbiterPeriodUS = 5000
+
+// RunSim replays the trace on the virtual clock and summarises the
+// outcome. Given identical trace and options the Result is bit-for-bit
+// identical across runs and hosts.
+func RunSim(tr *Trace, opts SimOptions) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	tenants := tr.Tenants()
+	idx := map[string]int{}
+	for i, name := range tenants {
+		idx[name] = i
+	}
+
+	jobs := make([][]sim.Job, len(tenants))
+	joins := make([]int64, len(tenants))
+	weights := make([]float64, len(tenants))
+	for i := range weights {
+		weights[i] = 1
+	}
+	graphs := map[string]*task.Graph{} // (kernel, scale) cache; graphs are read-only in the sim
+	firstEvent := map[string]bool{}
+	anyJoin, anyWeight := false, false
+	for _, e := range tr.Events {
+		i := idx[e.Tenant]
+		if !firstEvent[e.Tenant] {
+			firstEvent[e.Tenant] = true
+			if e.Op == OpJoin && e.AtUS > 0 {
+				joins[i] = e.AtUS
+				anyJoin = true
+			}
+		}
+		if e.Weight > 0 {
+			weights[i] = e.Weight
+			anyWeight = anyWeight || e.Weight != 1
+		}
+		if e.Op != OpJob {
+			continue
+		}
+		key := fmt.Sprintf("%s@%s", e.Kernel, ftoa(e.Scale))
+		g := graphs[key]
+		if g == nil {
+			b, err := resolveKernel(e.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			g = b.Make(e.Scale)
+			graphs[key] = g
+		}
+		jobs[i] = append(jobs[i], sim.Job{AtUS: e.AtUS, Graph: g, DeadlineUS: e.DeadlineUS})
+	}
+
+	cfg := opts.Config
+	if cfg.Policy == sim.DWS && anyWeight {
+		cfg.Weights = weights
+		if cfg.ArbiterPeriodUS <= 0 {
+			cfg.ArbiterPeriodUS = defaultArbiterPeriodUS
+		}
+	}
+	// Placeholder per-tenant graphs carry the tenant name; RunOpen swaps
+	// the real job graph in per job.
+	anchors := make([]*task.Graph, len(tenants))
+	for i, name := range tenants {
+		anchors[i] = &task.Graph{Name: name, Root: task.Leaf(1)}
+	}
+	m, err := sim.NewMachine(cfg, anchors)
+	if err != nil {
+		return nil, err
+	}
+
+	horizon := opts.HorizonUS
+	if horizon <= 0 {
+		last := tr.Events[len(tr.Events)-1].AtUS
+		horizon = last*10 + 600_000_000 // 10× the window + 10 virtual minutes
+	}
+	var joinsArg []int64
+	if anyJoin {
+		joinsArg = joins
+	}
+	res, err := m.RunOpen(sim.OpenOpts{
+		Jobs:      jobs,
+		JoinsUS:   joinsArg,
+		QueueCap:  opts.QueueCap,
+		HorizonUS: horizon,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: replaying %q under %v: %w", tr.Name, cfg.Policy, err)
+	}
+
+	outcomes := make([]Outcome, 0, len(res.Jobs))
+	for _, j := range res.Jobs {
+		o := Outcome{Tenant: tenants[j.Prog], Status: j.Status.String()}
+		if j.DoneUS >= 0 {
+			o.LatencyMS = float64(j.DoneUS-j.AtUS) / 1000
+		}
+		outcomes = append(outcomes, o)
+	}
+	return Summarize(tr.Name, cfg.Policy.String(), "sim", outcomes, float64(res.EndTimeUS)/1000), nil
+}
+
+// resolveKernel looks a trace kernel reference up by ID ("p-1", "s-2")
+// then by name ("FFT").
+func resolveKernel(ref string) (workload.Benchmark, error) {
+	if b, err := workload.ByID(ref); err == nil {
+		return b, nil
+	}
+	b, err := workload.ByName(ref)
+	if err != nil {
+		return workload.Benchmark{}, fmt.Errorf("scenario: %w", err)
+	}
+	return b, nil
+}

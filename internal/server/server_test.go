@@ -191,7 +191,7 @@ func TestInfoTenantsMetricsHealth(t *testing.T) {
 
 	var info Info
 	getJSON(t, hs.URL+"/v1/info", &info)
-	if info.Policy != "DWS" || info.Cores != 4 || len(info.Kernels) != 8 {
+	if info.Policy != "DWS" || info.Cores != 4 || len(info.Kernels) != 11 {
 		t.Errorf("bad info %+v", info)
 	}
 

@@ -45,6 +45,13 @@ const (
 	// directly to a co-resident worker that has work, instead of burning
 	// its share.
 	BWS
+	// GO models the plain Go-scheduler baseline of the scenario suite:
+	// goroutine-per-task on a shared runtime. Every program time-shares
+	// every core like ABP, but a thief that runs dry parks (idle Ps park
+	// instead of burning quanta in failed steals), and a task push wakes a
+	// parked worker immediately (the runtime's wakep), with no coordinator
+	// period and no core allocation table.
+	GO
 )
 
 // String returns the policy name as used in the paper.
@@ -60,6 +67,8 @@ func (p Policy) String() string {
 		return "DWS-NC"
 	case BWS:
 		return "BWS"
+	case GO:
+		return "GO"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}

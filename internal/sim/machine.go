@@ -34,6 +34,13 @@ type Machine struct {
 	stopped bool
 	samples []Sample
 
+	// Open-loop state (RunOpen): jobMode switches finishRun's tail from the
+	// closed-loop restart to the job queue; jobsOutstanding counts jobs not
+	// yet terminal; jobLog accumulates outcomes in completion order.
+	jobMode         bool
+	jobsOutstanding int
+	jobLog          []JobOutcome
+
 	// Trace, when non-nil, receives a line for every notable scheduling
 	// event (sleeps, wakes, claims, reclaims, evictions, coordinator
 	// decisions, run completions). Used by tests and the dwssim CLI's
@@ -88,6 +95,7 @@ func NewMachine(cfg Config, graphs []*task.Graph) (*Machine, error) {
 		p := &Program{
 			id:    int32(i + 1),
 			idx:   i,
+			name:  g.Name,
 			graph: g,
 			rng:   rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
 			home:  homes[i],
@@ -101,7 +109,7 @@ func NewMachine(cfg Config, graphs []*task.Graph) (*Machine, error) {
 	// Workers of sleeper policies participate from the start (asleep until
 	// their program arrives and takes its home share); other policies'
 	// workers stay off until arrival.
-	if cfg.Policy == DWS || cfg.Policy == DWSNC {
+	if cfg.Policy == DWS || cfg.Policy == DWSNC || cfg.Policy == GO {
 		for _, p := range m.progs {
 			for _, w := range p.workers {
 				w.state = wSleeping
@@ -227,6 +235,9 @@ func (m *Machine) activateProgram(p *Program) {
 				m.wakeWorker(p.workers[c])
 			}
 		}
+	case GO:
+		// Goroutine-per-task: nothing runs until work is pushed; the push
+		// itself wakes a parked worker (wakepGO), so arrival is a no-op.
 	}
 }
 
@@ -298,33 +309,50 @@ func (m *Machine) Run(opts RunOpts) (*Results, error) {
 	if m.arb != nil {
 		m.scheduleArbiter()
 	}
-	if opts.SampleUS > 0 {
-		var sample func()
-		sample = func() {
-			if m.stopped {
-				return
-			}
-			s := Sample{AtUS: m.now, Running: make([]int32, len(m.cores))}
-			for i, c := range m.cores {
-				if c.cur != nil {
-					s.Running[i] = c.cur.prog.id
-				}
-			}
-			m.samples = append(m.samples, s)
-			m.after(opts.SampleUS, sample)
-		}
-		m.after(opts.SampleUS, sample)
-	}
+	m.startSampling(opts.SampleUS)
 
+	if err := m.loop(opts.HorizonUS); err != nil {
+		return m.results(), err
+	}
+	return m.results(), nil
+}
+
+// startSampling arms the periodic core-occupancy sampler (no-op for
+// sampleUS <= 0).
+func (m *Machine) startSampling(sampleUS int64) {
+	if sampleUS <= 0 {
+		return
+	}
+	var sample func()
+	sample = func() {
+		if m.stopped {
+			return
+		}
+		s := Sample{AtUS: m.now, Running: make([]int32, len(m.cores))}
+		for i, c := range m.cores {
+			if c.cur != nil {
+				s.Running[i] = c.cur.prog.id
+			}
+		}
+		m.samples = append(m.samples, s)
+		m.after(sampleUS, sample)
+	}
+	m.after(sampleUS, sample)
+}
+
+// loop drains the event heap until the machine stops, the horizon passes,
+// or the event budget is exhausted. Shared by the closed-loop Run and the
+// open-loop RunOpen.
+func (m *Machine) loop(horizonUS int64) error {
 	for len(m.events) > 0 && !m.stopped {
 		ev := heap.Pop(&m.events).(*event)
-		if opts.HorizonUS > 0 && ev.at > opts.HorizonUS {
-			return m.results(), ErrHorizon
+		if horizonUS > 0 && ev.at > horizonUS {
+			return ErrHorizon
 		}
 		m.now = ev.at
 		m.nEv++
 		if m.nEv > m.cfg.MaxEvents {
-			return m.results(), ErrExploded
+			return ErrExploded
 		}
 		ev.fn()
 		if m.cfg.Debug && !m.stopped {
@@ -332,9 +360,9 @@ func (m *Machine) Run(opts RunOpts) (*Results, error) {
 		}
 	}
 	if !m.stopped {
-		return m.results(), ErrStalled
+		return ErrStalled
 	}
-	return m.results(), nil
+	return nil
 }
 
 // getWork is the worker loop of Algorithm 1: check for eviction, take from
@@ -421,7 +449,7 @@ func (m *Machine) idleSpin(w *Worker) {
 	p := w.prog
 	cfg := &m.cfg
 	c := m.cores[w.id]
-	sleeper := cfg.Policy == DWS || cfg.Policy == DWSNC
+	sleeper := cfg.Policy == DWS || cfg.Policy == DWSNC || cfg.Policy == GO
 	if sleeper && m.canSleep(p) {
 		left := cfg.TSleep - w.failedSteals + 1
 		if left < 1 {

@@ -74,6 +74,9 @@ type Results struct {
 	CoreBusyUS []int64
 	// Samples holds the core-occupancy timeline when sampling was on.
 	Samples []Sample
+	// Jobs holds every open-loop job outcome (Machine.RunOpen), sorted by
+	// program then stream index; nil for closed-loop runs.
+	Jobs []JobOutcome
 }
 
 // TimelineASCII renders the occupancy samples as one row per core, one
@@ -145,9 +148,12 @@ func (m *Machine) results() *Results {
 	}
 	for _, p := range m.progs {
 		r.Programs = append(r.Programs, ProgResult{
-			Name:  p.graph.Name,
+			Name:  p.name,
 			Stats: p.stats,
 		})
+	}
+	if m.jobMode {
+		r.Jobs = m.sortedJobLog()
 	}
 	return r
 }

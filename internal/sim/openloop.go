@@ -1,0 +1,288 @@
+package sim
+
+// Open-loop job replay: instead of the paper's closed loop (every program
+// re-runs its one graph until a target count), RunOpen feeds each program
+// a timed stream of jobs — each its own task graph — through a bounded
+// pending queue, mirroring dwsd's admission model: a job arriving at a
+// full queue is rejected (the 429 analog), a job whose deadline passes
+// while queued is skipped and never started, and a started job runs to
+// completion (kernels are not preemptible) but is counted late if it
+// finishes past its deadline.
+//
+// This is the simulation substrate of internal/scenario: given identical
+// configuration, jobs, and seed, a replay is bit-for-bit reproducible on
+// the virtual clock.
+
+import (
+	"fmt"
+	"sort"
+
+	"dws/internal/task"
+)
+
+// Job is one open-loop work item for a program.
+type Job struct {
+	// AtUS is the arrival time on the simulated clock.
+	AtUS int64
+	// Graph is the job's task graph (validated by RunOpen).
+	Graph *task.Graph
+	// DeadlineUS bounds queue wait + run time, measured from AtUS; 0 means
+	// no deadline.
+	DeadlineUS int64
+}
+
+// JobStatus classifies one job's outcome.
+type JobStatus int
+
+const (
+	// JobOK: completed within its deadline (or had none).
+	JobOK JobStatus = iota
+	// JobLate: started in time but completed past its deadline.
+	JobLate
+	// JobExpired: deadline passed while queued; never started.
+	JobExpired
+	// JobRejected: the pending queue was full at arrival.
+	JobRejected
+)
+
+// String names the status as the scenario reports do.
+func (s JobStatus) String() string {
+	switch s {
+	case JobOK:
+		return "ok"
+	case JobLate:
+		return "late"
+	case JobExpired:
+		return "expired"
+	case JobRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("JobStatus(%d)", int(s))
+	}
+}
+
+// JobOutcome is the terminal record of one job.
+type JobOutcome struct {
+	// Prog is the program index (RunOpen's Jobs index).
+	Prog int
+	// Index is the job's index within its program's stream.
+	Index int
+	// AtUS echoes the arrival time.
+	AtUS int64
+	// Status is the terminal classification.
+	Status JobStatus
+	// StartUS is when execution began (-1 for rejected/expired jobs);
+	// StartUS-AtUS is the queue wait.
+	StartUS int64
+	// DoneUS is when execution completed (-1 if the job never ran);
+	// DoneUS-AtUS is the end-to-end latency.
+	DoneUS int64
+}
+
+// openJob is a Job in flight, with its stream index and start time.
+type openJob struct {
+	Job
+	idx     int
+	startUS int64
+}
+
+// OpenOpts configures an open-loop replay.
+type OpenOpts struct {
+	// Jobs[i] is program i's job stream, sorted by AtUS. Streams may be
+	// empty (a tenant that only churns), but at least one job must exist
+	// overall.
+	Jobs [][]Job
+	// JoinsUS[i], when non-nil, is program i's activation time: its workers
+	// participate only from then on (tenant churn). nil means everyone is
+	// present from time 0. A program's first job must not precede its join.
+	JoinsUS []int64
+	// QueueCap bounds each program's pending queue (the running job is not
+	// counted); ≤0 defaults to 16, dwsd's default admission depth.
+	QueueCap int
+	// HorizonUS aborts the replay at this simulated time; 0 means none.
+	HorizonUS int64
+	// SampleUS, when positive, records core-occupancy samples as in
+	// RunOpts.
+	SampleUS int64
+}
+
+// RunOpen replays the job streams and returns results with the Jobs
+// outcome log populated (sorted by program, then stream index). The
+// machine cannot be reused.
+func (m *Machine) RunOpen(opts OpenOpts) (*Results, error) {
+	if m.nEv > 0 || m.jobMode {
+		return nil, fmt.Errorf("%w: machine already ran", ErrBadConfig)
+	}
+	if len(opts.Jobs) != len(m.progs) {
+		return nil, fmt.Errorf("%w: %d job streams for %d programs",
+			ErrBadConfig, len(opts.Jobs), len(m.progs))
+	}
+	if opts.JoinsUS != nil && len(opts.JoinsUS) != len(m.progs) {
+		return nil, fmt.Errorf("%w: %d join times for %d programs",
+			ErrBadConfig, len(opts.JoinsUS), len(m.progs))
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 16
+	}
+	total := 0
+	for i, js := range opts.Jobs {
+		join := int64(0)
+		if opts.JoinsUS != nil {
+			join = opts.JoinsUS[i]
+		}
+		last := join
+		for k, j := range js {
+			if j.AtUS < last {
+				return nil, fmt.Errorf("%w: program %d job %d at %dµs out of order (prev %dµs / join)",
+					ErrBadConfig, i, k, j.AtUS, last)
+			}
+			last = j.AtUS
+			if j.DeadlineUS < 0 {
+				return nil, fmt.Errorf("%w: program %d job %d negative deadline", ErrBadConfig, i, k)
+			}
+			if err := task.Validate(j.Graph); err != nil {
+				return nil, fmt.Errorf("sim: program %d job %d: %w", i, k, err)
+			}
+		}
+		total += len(js)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("%w: no jobs", ErrBadConfig)
+	}
+
+	m.jobMode = true
+	m.jobsOutstanding = total
+	for i, p := range m.progs {
+		p := p
+		join := int64(0)
+		if opts.JoinsUS != nil {
+			join = opts.JoinsUS[i]
+		}
+		activate := func() {
+			m.activateProgram(p)
+			if m.cfg.Policy == DWS || m.cfg.Policy == DWSNC {
+				m.scheduleCoordinator(p)
+			}
+		}
+		if join <= 0 {
+			activate()
+		} else {
+			m.schedule(join, activate)
+		}
+		for k, j := range opts.Jobs[i] {
+			oj := &openJob{Job: j, idx: k, startUS: -1}
+			m.schedule(j.AtUS, func() { m.jobArrive(p, oj, opts.QueueCap) })
+		}
+	}
+	for _, c := range m.cores {
+		if c.cur == nil {
+			m.dispatch(c)
+		}
+	}
+	if m.arb != nil {
+		m.scheduleArbiter()
+	}
+	m.startSampling(opts.SampleUS)
+
+	err := m.loop(opts.HorizonUS)
+	return m.results(), err
+}
+
+// jobArrive admits one job: start it if the program is idle, queue it if
+// there is room, reject it otherwise.
+func (m *Machine) jobArrive(p *Program, j *openJob, queueCap int) {
+	if p.curJob == nil && !p.runActive {
+		m.startJob(p, j, p.workers[p.home[0]])
+		return
+	}
+	if len(p.pending) >= queueCap {
+		m.trace("p%d job %d rejected (queue full)", p.id, j.idx)
+		m.jobDone(p, j, JobRejected)
+		return
+	}
+	p.pending = append(p.pending, j)
+}
+
+// startJob begins executing j (skipping over queued jobs whose deadline
+// already expired — the server's runner does the same at dequeue). The
+// root task is pushed onto w's deque; sleeper policies re-take their home
+// share, and a GO push wakes a parked worker, so someone always comes for
+// it.
+func (m *Machine) startJob(p *Program, j *openJob, w *Worker) {
+	for j.DeadlineUS > 0 && m.now > j.AtUS+j.DeadlineUS {
+		m.trace("p%d job %d expired after %dµs queued", p.id, j.idx, m.now-j.AtUS)
+		m.jobDone(p, j, JobExpired)
+		if m.stopped || len(p.pending) == 0 {
+			p.curJob = nil
+			p.runActive = false
+			return
+		}
+		j = p.pending[0]
+		p.pending = p.pending[1:]
+	}
+	p.curJob = j
+	j.startUS = m.now
+	p.graph = j.Graph
+	p.runActive = true
+	p.runStart = m.now
+	m.trace("p%d job %d starts after %dµs queued", p.id, j.idx, m.now-j.AtUS)
+	m.regrabHome(p)
+	m.pushTask(w, &simTask{node: j.Graph.Root})
+	// The push came from the arrival event, not a running worker, so the
+	// target itself may be mid-spin; a nil pusher notifies every spinner,
+	// including w (dedup via notifyPending keeps this cheap).
+	m.notifySpinners(p, nil)
+}
+
+// jobFinished is finishRun's open-loop tail: record the outcome and start
+// the next queued job on the finishing worker.
+func (m *Machine) jobFinished(p *Program, w *Worker) {
+	j := p.curJob
+	p.curJob = nil
+	p.runActive = false
+	st := JobOK
+	if j.DeadlineUS > 0 && m.now > j.AtUS+j.DeadlineUS {
+		st = JobLate
+	}
+	m.jobDone(p, j, st)
+	if m.stopped || len(p.pending) == 0 {
+		return
+	}
+	next := p.pending[0]
+	p.pending = p.pending[1:]
+	m.startJob(p, next, w)
+}
+
+// jobDone records a terminal outcome and stops the machine when the last
+// job resolves.
+func (m *Machine) jobDone(p *Program, j *openJob, st JobStatus) {
+	done := int64(-1)
+	if st == JobOK || st == JobLate {
+		done = m.now
+	}
+	m.jobLog = append(m.jobLog, JobOutcome{
+		Prog:    p.idx,
+		Index:   j.idx,
+		AtUS:    j.AtUS,
+		Status:  st,
+		StartUS: j.startUS,
+		DoneUS:  done,
+	})
+	m.jobsOutstanding--
+	if m.jobsOutstanding == 0 {
+		m.stopped = true
+	}
+}
+
+// sortedJobLog returns the outcome log in canonical (program, index)
+// order.
+func (m *Machine) sortedJobLog() []JobOutcome {
+	log := append([]JobOutcome(nil), m.jobLog...)
+	sort.Slice(log, func(i, k int) bool {
+		if log[i].Prog != log[k].Prog {
+			return log[i].Prog < log[k].Prog
+		}
+		return log[i].Index < log[k].Index
+	})
+	return log
+}

@@ -13,6 +13,10 @@ type Program struct {
 	id  int32 // 1-based, used in the core allocation table
 	idx int   // 0-based index into Machine.progs
 
+	// name is the program's stable display name (the construction graph's
+	// Name). In open-loop mode graph is swapped per job, so results report
+	// this name instead of the current graph's.
+	name  string
 	graph *task.Graph
 	rng   *rand.Rand
 
@@ -41,6 +45,11 @@ type Program struct {
 	// central is the program's single task pool in work-sharing mode
 	// (Config.WorkSharing); takes are FIFO.
 	central []*simTask
+
+	// Open-loop job state (Machine.RunOpen): the job currently executing
+	// and the bounded FIFO of admitted-but-not-started jobs.
+	curJob  *openJob
+	pending []*openJob
 
 	stats ProgStats
 }
@@ -124,6 +133,10 @@ func (m *Machine) finishRun(p *Program, w *Worker) {
 	p.stats.RunStartsUS = append(p.stats.RunStartsUS, p.runStart)
 	p.runsDone++
 	m.trace("p%d run %d done in %dµs", p.id, p.runsDone, m.now-p.runStart)
+	if m.jobMode {
+		m.jobFinished(p, w)
+		return
+	}
 	if !p.satisfied && p.runsDone >= p.targetRuns {
 		p.satisfied = true
 		m.checkAllSatisfied()

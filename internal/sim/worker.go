@@ -95,6 +95,35 @@ func (m *Machine) pushTask(w *Worker, t *simTask) {
 		w.deque = append(w.deque, t)
 	}
 	m.notifySpinners(w.prog, w)
+	if m.cfg.Policy == GO {
+		m.wakepGO(w.prog, w)
+	}
+}
+
+// wakepGO is the GO policy's wakep: a task push wakes one parked worker of
+// the program unless a thief is already hunting (a spinning worker will
+// pick the task up, a waking one is already on its way) — the Go
+// runtime's "wake an idle P unless a spinning M exists" rule. The pushed
+// task may sit in a parked worker's own deque (open-loop job starts), in
+// which case that worker is the one to wake.
+func (m *Machine) wakepGO(p *Program, pusher *Worker) {
+	if pusher.state == wSleeping {
+		m.wakeWorker(pusher)
+		return
+	}
+	for _, w := range p.workers {
+		if w.state == wSpinning || w.state == wWaking {
+			return
+		}
+	}
+	n := len(p.workers)
+	p.notifyRR++
+	for i := 0; i < n; i++ {
+		if w := p.workers[(i+p.notifyRR)%n]; w.state == wSleeping {
+			m.wakeWorker(w)
+			return
+		}
+	}
 }
 
 // popTask removes and returns the most recently pushed task, or nil.

@@ -238,3 +238,31 @@ func TestPercentileOutOfRange(t *testing.T) {
 	}()
 	Percentile([]float64{1}, 101)
 }
+
+func TestPercentileNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative percentile accepted")
+		}
+	}()
+	Percentile([]float64{1}, -0.1)
+}
+
+func TestGeoMeanNonPositivePanics(t *testing.T) {
+	for _, xs := range [][]float64{{0}, {2, -3}, {1, 0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GeoMean(%v) did not panic", xs)
+				}
+			}()
+			GeoMean(xs)
+		}()
+	}
+}
+
+func TestJainIndexSingle(t *testing.T) {
+	if got := JainIndex([]float64{3.7}); !almostEq(got, 1) {
+		t.Fatalf("single value: %v, want 1", got)
+	}
+}

@@ -2,9 +2,10 @@ package workload
 
 import "dws/internal/task"
 
-// Synthetic workloads used by tests and the ablation experiments. They are
-// not part of the paper's Table 2 but isolate individual scheduler
-// behaviours.
+// Synthetic workloads used by tests, the ablation experiments, and the
+// scenario catalog. They are not part of the paper's Table 2 but isolate
+// individual scheduler behaviours; Synthetics below registers them with
+// "s-" IDs so scenario traces can name them like any benchmark.
 
 // Wide returns a massively parallel divide-and-conquer graph whose demand
 // always exceeds the machine: the "wants every core" extreme.
@@ -50,4 +51,14 @@ func Bursty(scale float64) *task.Graph {
 		MemIntensity: 0.4,
 		FootprintMB:  16,
 	}
+}
+
+// Synthetics registers the synthetic shapes with "s-" IDs, alongside the
+// paper's "p-" Registry. They resolve through ByID/ByName/IDs but are not
+// part of Registry, so paper-reproduction experiments that iterate the
+// registry stay paper-only.
+var Synthetics = []Benchmark{
+	{ID: "s-1", Name: "Wide", Desc: "Massively parallel divide-and-conquer", Make: Wide},
+	{ID: "s-2", Name: "Serialish", Desc: "Serial-dominated with parallel prologue", Make: Serialish},
+	{ID: "s-3", Name: "Bursty", Desc: "Oscillating wide/narrow phases", Make: Bursty},
 }

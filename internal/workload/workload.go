@@ -198,9 +198,17 @@ var Registry = []Benchmark{
 	{ID: "p-8", Name: "Mergesort", Desc: "Merge sort on 4E6 numbers", Make: Mergesort},
 }
 
-// ByID returns the benchmark with the given ID ("p-1"…"p-8") or an error.
+// all returns the paper registry followed by the synthetic shapes — the
+// full lookup space of ByID/ByName/IDs. Registry itself stays paper-only
+// so Table 2 experiments iterate exactly the paper's eight benchmarks.
+func all() []Benchmark {
+	return append(append([]Benchmark(nil), Registry...), Synthetics...)
+}
+
+// ByID returns the benchmark with the given ID ("p-1"…"p-8", "s-1"…"s-3")
+// or an error.
 func ByID(id string) (Benchmark, error) {
-	for _, b := range Registry {
+	for _, b := range all() {
 		if b.ID == id {
 			return b, nil
 		}
@@ -208,9 +216,10 @@ func ByID(id string) (Benchmark, error) {
 	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", id)
 }
 
-// ByName returns the benchmark with the given name (case-sensitive).
+// ByName returns the benchmark with the given name (case-sensitive),
+// searching the paper registry and the synthetics.
 func ByName(name string) (Benchmark, error) {
-	for _, b := range Registry {
+	for _, b := range all() {
 		if b.Name == name {
 			return b, nil
 		}
@@ -218,10 +227,11 @@ func ByName(name string) (Benchmark, error) {
 	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
 }
 
-// IDs returns all registry IDs, sorted.
+// IDs returns all benchmark IDs (paper + synthetic), sorted.
 func IDs() []string {
-	ids := make([]string, len(Registry))
-	for i, b := range Registry {
+	bs := all()
+	ids := make([]string, len(bs))
+	for i, b := range bs {
 		ids[i] = b.ID
 	}
 	sort.Strings(ids)

@@ -105,8 +105,19 @@ func TestLookup(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("ByName(nope) succeeded")
 	}
-	if n := len(IDs()); n != 8 {
-		t.Fatalf("IDs() has %d entries, want 8", n)
+	if n := len(IDs()); n != 11 {
+		t.Fatalf("IDs() has %d entries, want 8 paper + 3 synthetic", n)
+	}
+	// Synthetics resolve through the lookups but stay out of Registry.
+	b, err = ByID("s-3")
+	if err != nil || b.Name != "Bursty" {
+		t.Fatalf("ByID(s-3) = %v, %v", b, err)
+	}
+	if _, err := ByName("Wide"); err != nil {
+		t.Fatalf("ByName(Wide): %v", err)
+	}
+	if len(Registry) != 8 {
+		t.Fatalf("Registry has %d entries, want the paper's 8", len(Registry))
 	}
 }
 
