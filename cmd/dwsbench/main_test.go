@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"dws/internal/deque"
+)
+
+// TestEngineFromFlag pins the -engine flag contract: unknown names are
+// rejected before any experiment runs, the empty flag defaults to
+// Chase–Lev, and DWS_DEQUE_ENGINE fills in when the flag is unset.
+func TestEngineFromFlag(t *testing.T) {
+	t.Setenv(deque.EngineEnv, "")
+	cases := []struct {
+		in      string
+		want    deque.Kind
+		wantErr bool
+	}{
+		{"", deque.KindChaseLev, false},
+		{"chaselev", deque.KindChaseLev, false},
+		{"locked", deque.KindLocked, false},
+		{"Relaxed", deque.KindRelaxed, false},
+		{"warp-drive", 0, true},
+	}
+	for _, c := range cases {
+		got, err := engineFromFlag(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("engineFromFlag(%q) accepted an unknown engine", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("engineFromFlag(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("engineFromFlag(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+
+	t.Run("env-fallback", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "relaxed")
+		got, err := engineFromFlag("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != deque.KindRelaxed {
+			t.Fatalf("empty flag with %s=relaxed = %v, want relaxed", deque.EngineEnv, got)
+		}
+	})
+}

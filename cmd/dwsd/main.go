@@ -29,9 +29,21 @@ import (
 	"syscall"
 	"time"
 
+	"dws/internal/deque"
 	"dws/internal/rt"
 	"dws/internal/server"
 )
+
+// engineFromFlag resolves the -engine flag: an empty value falls back to
+// DWS_DEQUE_ENGINE and then Chase–Lev; unknown names are rejected before
+// anything starts.
+func engineFromFlag(name string) (deque.Kind, error) {
+	k, err := deque.ParseKind(name)
+	if err != nil {
+		return 0, err
+	}
+	return k.Resolve()
+}
 
 func main() {
 	var (
@@ -47,10 +59,15 @@ func main() {
 		period   = flag.Duration("period", 0, "coordinator period T (0 = rt default, 10ms)")
 		leaseTTL = flag.Duration("lease-ttl", 0, "core-table lease expiry for wedged-tenant eviction (0 = 10×period)")
 		arbiter  = flag.Duration("arbiter-period", 0, "QoS arbitration period, DWS only (0 = default 50ms; negative disables)")
+		engine   = flag.String("engine", "", "deque engine: chaselev|locked|relaxed (empty = $DWS_DEQUE_ENGINE, then chaselev)")
 	)
 	flag.Parse()
 
 	pol, err := rt.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatalf("dwsd: %v", err)
+	}
+	eng, err := engineFromFlag(*engine)
 	if err != nil {
 		log.Fatalf("dwsd: %v", err)
 	}
@@ -62,6 +79,7 @@ func main() {
 	s, err := server.New(server.Config{
 		Cores:           *cores,
 		Policy:          pol,
+		Engine:          eng,
 		MaxTenants:      *tenants,
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
@@ -78,8 +96,8 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("dwsd: serving on %s (policy=%v cores=%d tenants≤%d queue=%d)",
-		*addr, pol, *cores, *tenants, *queue)
+	log.Printf("dwsd: serving on %s (policy=%v engine=%v cores=%d tenants≤%d queue=%d)",
+		*addr, pol, eng, *cores, *tenants, *queue)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"dws/internal/deque"
 	"dws/internal/scenario"
 	"dws/internal/sim"
 	"dws/internal/task"
@@ -54,10 +55,15 @@ func main() {
 		penalty = flag.Float64("cachepenalty", 2.0, "cold-cache slowdown factor")
 		warm    = flag.Int64("cachewarm", 2000, "cache warm-up time (µs)")
 		llc     = flag.Float64("llc", 0.25, "LLC contention penalty per sharer")
+		engine  = flag.String("engine", "", "deque engine: chaselev|locked|relaxed (empty = $DWS_DEQUE_ENGINE, then chaselev)")
 	)
 	flag.Parse()
 
 	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := engineFromFlag(*engine)
 	if err != nil {
 		fatal(err)
 	}
@@ -70,6 +76,7 @@ func main() {
 		cfg.StrongYield = *strongY
 		cfg.CachePenalty, cfg.CacheWarmUS, cfg.LLCPenalty = *penalty, *warm, *llc
 		cfg.Seed = *seed
+		cfg.Engine = eng
 		runScenario(*scenName, cfg)
 		return
 	}
@@ -93,7 +100,7 @@ func main() {
 	}
 
 	cfg := sim.Config{
-		Cores: *cores, SocketSize: *sockets, Policy: pol,
+		Cores: *cores, SocketSize: *sockets, Policy: pol, Engine: eng,
 		QuantumUS: *quantum, StealCostUS: *steal, StealYieldUS: *yield,
 		WakeLatencyUS: *wake, TSleep: *tsleep, CoordPeriodUS: *coord,
 		CoordCostUS: 5, StrongYield: *strongY,
@@ -122,8 +129,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("policy=%v cores=%d seed=%d simulated=%.3fs events=%d util=%.2f\n",
-		pol, *cores, *seed, float64(res.EndTimeUS)/1e6, res.Events, res.Utilization())
+	fmt.Println(summaryLine(pol, m.Engine(), *cores, *seed, res))
 	if rec != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -169,6 +175,23 @@ func runScenario(name string, cfg sim.Config) {
 		fatal(err)
 	}
 	fmt.Printf("%s\n\n%s", res, res.Table())
+}
+
+// engineFromFlag resolves the -engine flag: an empty value falls back to
+// DWS_DEQUE_ENGINE and then Chase–Lev; unknown names are rejected before
+// the simulation starts.
+func engineFromFlag(name string) (deque.Kind, error) {
+	k, err := deque.ParseKind(name)
+	if err != nil {
+		return 0, err
+	}
+	return k.Resolve()
+}
+
+// summaryLine formats the one-line run summary printed after -bench runs.
+func summaryLine(pol sim.Policy, eng deque.Kind, cores int, seed int64, res *sim.Results) string {
+	return fmt.Sprintf("policy=%v engine=%v cores=%d seed=%d simulated=%.3fs events=%d util=%.2f",
+		pol, eng, cores, seed, float64(res.EndTimeUS)/1e6, res.Events, res.Utilization())
 }
 
 func parsePolicy(s string) (sim.Policy, error) {

@@ -1,15 +1,22 @@
-// Package deque provides work-stealing double-ended queues.
+// Package deque provides work-stealing double-ended queues behind a
+// runtime-selectable Engine interface.
 //
-// Three implementations are provided:
+// Three engines are provided:
 //
 //   - Deque: a lock-free Chase–Lev deque storing pointers. The owner pushes
 //     and pops at the bottom; any number of thieves steal from the top with
-//     a compare-and-swap. This is the deque used by the live runtime
+//     a compare-and-swap. This is the default engine of the live runtime
 //     (internal/rt).
 //   - Locked: a mutex-protected deque with identical semantics, used as a
 //     reference implementation in differential tests.
+//   - Relaxed: a fence-free deque with multiplicity — no CAS on steal, no
+//     fence on take, at the cost of rare duplicate pops that callers must
+//     absorb with an execute-once guard (see Relaxed and Kind.Multiplicity).
 //
-// The zero value is not usable; construct with New / NewLocked.
+// Engines are selected by Kind (flags/configs) or, for KindAuto, the
+// DWS_DEQUE_ENGINE environment variable; NewEngine constructs one. The
+// zero value of the deque types is not usable; construct with
+// New / NewLocked / NewRelaxed.
 package deque
 
 import "sync/atomic"

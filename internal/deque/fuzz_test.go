@@ -5,45 +5,111 @@ import (
 	"testing"
 )
 
-// FuzzDequeOps drives the lock-free deque and the locked reference with
-// the same single-threaded operation sequence and requires identical
-// observable behaviour (differential fuzzing).
+// FuzzDequeOps is the engine-parametric differential harness: every engine
+// replays the same single-threaded operation sequence against a fresh
+// Locked reference. Strict engines (ChaseLev, Locked-vs-itself) must match
+// the reference op for op — same presence, same pointer, same Len. Engines
+// with multiplicity (Relaxed) are permitted to diverge only in the shapes
+// their contract allows — duplicate deliveries and spurious nils — and are
+// still held to at-least-once: after a full drain every pushed value must
+// have been delivered, and any value delivered must actually have been
+// pushed. Single-threaded the Relaxed engine has no races to lose, so in
+// practice it tracks the reference exactly; the tolerant accounting is
+// there so a future counterexample is classified, not masked.
 func FuzzDequeOps(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 2, 0, 1, 1, 2})
 	f.Add([]byte{0, 1, 0, 1, 0, 1})
 	f.Add(bytes.Repeat([]byte{0}, 100))
 	f.Add([]byte{2, 2, 1, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 1, 2, 1}) // force ring growth, then drain both ends
+	f.Add([]byte{0, 2, 2, 0, 2, 1, 0, 1, 2})                // single-element takes from both ends
 	f.Fuzz(func(t *testing.T, ops []byte) {
-		lf := New[int](4)
-		ref := NewLocked[int](4)
-		vals := make([]int, 0, len(ops))
-		for i, op := range ops {
-			switch op % 3 {
-			case 0:
-				vals = append(vals, i)
-				v := &vals[len(vals)-1]
-				lf.Push(v)
-				ref.Push(v)
-			case 1:
-				a, b := lf.Pop(), ref.Pop()
-				if (a == nil) != (b == nil) {
-					t.Fatalf("op %d: Pop presence mismatch", i)
-				}
-				if a != nil && *a != *b {
-					t.Fatalf("op %d: Pop %d != %d", i, *a, *b)
-				}
-			case 2:
-				a, b := lf.Steal(), ref.Steal()
-				if (a == nil) != (b == nil) {
-					t.Fatalf("op %d: Steal presence mismatch", i)
-				}
-				if a != nil && *a != *b {
-					t.Fatalf("op %d: Steal %d != %d", i, *a, *b)
-				}
-			}
-			if lf.Len() != ref.Len() {
-				t.Fatalf("op %d: Len %d != %d", i, lf.Len(), ref.Len())
-			}
+		for _, kind := range Kinds() {
+			runDifferential(t, kind, ops)
 		}
 	})
+}
+
+// runDifferential replays ops (op%3: 0=Push, 1=Pop, 2=Steal) through one
+// engine and the Locked reference in lockstep.
+func runDifferential(t *testing.T, kind Kind, ops []byte) {
+	t.Helper()
+	eng := NewEngine[int](kind, 4)
+	ref := NewLocked[int](4)
+	mult := kind.Multiplicity()
+
+	vals := make([]int, len(ops)) // stable addresses: both sides push &vals[i]
+	pushes := 0
+	delivered := make(map[int]int) // engine-side delivery count per value
+	note := func(i int, op string, v *int) {
+		if v == nil {
+			return
+		}
+		if *v < 0 || *v >= pushes {
+			t.Fatalf("[%v] op %d: %s returned never-pushed value %d", kind, i, op, *v)
+		}
+		delivered[*v]++
+	}
+
+	for i, op := range ops {
+		switch op % 3 {
+		case 0:
+			vals[pushes] = pushes
+			v := &vals[pushes]
+			pushes++
+			eng.Push(v)
+			ref.Push(v)
+		case 1:
+			a, b := eng.Pop(), ref.Pop()
+			note(i, "Pop", a)
+			if a != b && !mult {
+				t.Fatalf("[%v] op %d: Pop = %v, reference = %v", kind, i, fmtVal(a), fmtVal(b))
+			}
+		case 2:
+			a, b := eng.Steal(), ref.Steal()
+			note(i, "Steal", a)
+			if a != b && !mult {
+				t.Fatalf("[%v] op %d: Steal = %v, reference = %v", kind, i, fmtVal(a), fmtVal(b))
+			}
+		}
+		if el, rl := eng.Len(), ref.Len(); el != rl && !mult {
+			t.Fatalf("[%v] op %d: Len %d != reference %d", kind, i, el, rl)
+		}
+	}
+
+	// Drain the engine so at-least-once is checkable. The bound makes a
+	// hypothetical non-terminating drain a test failure, not a fuzz hang.
+	for j := 0; j < 2*len(ops)+16; j++ {
+		v := eng.Pop()
+		if v == nil && eng.Len() <= 0 {
+			break
+		}
+		note(-1, "drain", v)
+	}
+	if eng.Len() > 0 {
+		t.Fatalf("[%v] drain did not empty the deque: Len=%d", kind, eng.Len())
+	}
+
+	lost, dups := 0, 0
+	for v := 0; v < pushes; v++ {
+		switch n := delivered[v]; {
+		case n == 0:
+			lost++
+		case n > 1:
+			dups += n - 1
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("[%v] at-least-once broken: %d of %d pushed values never delivered", kind, lost, pushes)
+	}
+	if dups > 0 && !mult {
+		t.Fatalf("[%v] %d duplicate deliveries on an engine without multiplicity", kind, dups)
+	}
+}
+
+func fmtVal(v *int) any {
+	if v == nil {
+		return "nil"
+	}
+	return *v
 }

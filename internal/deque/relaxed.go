@@ -1,0 +1,142 @@
+package deque
+
+import "sync/atomic"
+
+// Relaxed is a fence-free work-stealing deque with multiplicity, after
+// Castañeda & Piña, "Fully Read/Write Fence-Free Work-Stealing with
+// Multiplicity". It has the same layout and API as the Chase–Lev Deque but
+// removes the two synchronisation points the owner and thieves pay there:
+// Steal advances top with a plain store guarded by a recheck instead of a
+// compare-and-swap, and Pop takes the last element with plain stores
+// instead of racing a CAS.
+//
+// The contract is deliberately weaker than Deque's:
+//
+//   - At-least-once: every pushed element is returned by at least one Pop
+//     or Steal. Nothing is ever lost.
+//   - Multiplicity: under concurrency the same element may be returned to
+//     more than one caller. The recheck on top bounds the window (a thief
+//     only advances top when it still holds the value it read) but cannot
+//     close it — top may briefly regress, re-exposing already-taken
+//     positions.
+//   - Spurious failure: Pop and Steal may return nil for a position whose
+//     element was already delivered (a "ghost" re-exposed by regression, or
+//     a slot below the copy window of a grown ring). Callers treat nil as
+//     one failed attempt, exactly as with Deque.
+//
+// Callers that execute returned work must therefore gate execution behind
+// an execute-once claim; internal/rt wraps tasks in a sequence-epoch guard
+// checked at execution time, never here. Kind.Multiplicity reports which
+// engines need the guard.
+//
+// Why at-least-once holds: top only moves past a position p when the mover
+// holds a value read for p. The first time top passes p no ring has ever
+// excluded p from its copy window (grows snapshot [top, bottom) and top had
+// never exceeded p), so that value is p's true element. Later advances over
+// a regressed range can only re-deliver stale values or skip nil slots —
+// both refer to positions already delivered.
+type Relaxed[T any] struct {
+	top    atomic.Int64 // next slot thieves steal from; may briefly regress
+	_      [cachePad - 8]byte
+	bottom atomic.Int64 // next slot the owner pushes to
+	_      [cachePad - 8]byte
+	buf    atomic.Pointer[ring[T]]
+}
+
+// NewRelaxed returns an empty relaxed deque whose initial buffer holds
+// capacity elements (rounded up to a power of two, minimum 8).
+func NewRelaxed[T any](capacity int) *Relaxed[T] {
+	c := minCapacity
+	for c < capacity {
+		c <<= 1
+	}
+	d := &Relaxed[T]{}
+	d.buf.Store(newRing[T](c))
+	return d
+}
+
+// Push appends v at the bottom of the deque. Only the owner may call Push.
+// v must not be nil: nil is the "empty / failed attempt" sentinel of Pop
+// and Steal.
+func (d *Relaxed[T]) Push(v *T) {
+	if v == nil {
+		panic("deque: Push(nil)")
+	}
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.buf.Load()
+	if b-t >= int64(r.cap) {
+		// A regressed top only makes b-t larger, so growth errs early,
+		// never late; ghost slots copied along are already-delivered
+		// positions and at worst re-deliver duplicates.
+		r = r.grow(t, b)
+		d.buf.Store(r)
+	}
+	r.store(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes and returns the most recently pushed element. It returns nil
+// if the deque was empty or the position was a ghost (already delivered
+// through a thief before top regressed). Only the owner may call Pop.
+func (d *Relaxed[T]) Pop() *T {
+	b := d.bottom.Load() - 1
+	r := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if b < t {
+		// Deque was empty; restore bottom.
+		d.bottom.Store(t)
+		return nil
+	}
+	v := r.load(b)
+	if b > t {
+		return v
+	}
+	// Single element left. Where Chase–Lev CASes top to race the thieves,
+	// we take it with plain stores; a concurrent thief may deliver the
+	// same element, which the multiplicity contract permits.
+	d.top.Store(t + 1)
+	d.bottom.Store(t + 1)
+	return v
+}
+
+// Steal removes and returns the oldest element, or nil if the deque was
+// empty, the slot was a ghost, or another thief got there first. Any
+// goroutine may call Steal; callers treat nil as one failed attempt.
+func (d *Relaxed[T]) Steal() *T {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	r := d.buf.Load()
+	v := r.load(t)
+	// Recheck-bounded advance in place of Chase–Lev's CAS: only move top
+	// if it still names the position we read. The check-then-store window
+	// is where duplicates (and brief top regression) come from. A nil slot
+	// is a ghost — advance past it so the deque drains, but report a
+	// failed attempt.
+	if d.top.Load() == t {
+		d.top.Store(t + 1)
+	}
+	return v
+}
+
+// Len reports the number of queued elements. It is a racy snapshot when
+// used concurrently (and may transiently over-count after a top
+// regression); it never reports a negative length.
+func (d *Relaxed[T]) Len() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
+}
+
+// Empty reports whether the deque appears empty.
+func (d *Relaxed[T]) Empty() bool { return d.Len() == 0 }
+
+// Cap reports the current buffer capacity. It grows automatically.
+func (d *Relaxed[T]) Cap() int { return d.buf.Load().cap }

@@ -1,0 +1,170 @@
+package rt
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dws/internal/deque"
+)
+
+// TestConfigEngineSelection pins the engine plumbing: unknown engines are
+// rejected at NewSystem, the default resolves to Chase–Lev, the
+// environment override works, and explicit kinds pass through.
+func TestConfigEngineSelection(t *testing.T) {
+	base := func() Config {
+		return Config{Cores: 2, Programs: 1, Policy: ABP}
+	}
+	t.Run("default-chaselev", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "")
+		s, err := NewSystem(base())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if s.Engine() != deque.KindChaseLev {
+			t.Fatalf("default engine = %v, want chaselev", s.Engine())
+		}
+	})
+	t.Run("env-override", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "relaxed")
+		s, err := NewSystem(base())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if s.Engine() != deque.KindRelaxed {
+			t.Fatalf("engine with %s=relaxed = %v, want relaxed", deque.EngineEnv, s.Engine())
+		}
+	})
+	t.Run("explicit-beats-env", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "relaxed")
+		cfg := base()
+		cfg.Engine = deque.KindLocked
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if s.Engine() != deque.KindLocked {
+			t.Fatalf("explicit engine = %v, want locked", s.Engine())
+		}
+	})
+	t.Run("bad-env-rejected", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "warp-drive")
+		if _, err := NewSystem(base()); err == nil {
+			t.Fatal("NewSystem accepted an unknown engine from the environment")
+		}
+	})
+	t.Run("bad-kind-rejected", func(t *testing.T) {
+		cfg := base()
+		cfg.Engine = deque.Kind(99)
+		if _, err := NewSystem(cfg); err == nil {
+			t.Fatal("NewSystem accepted Kind(99)")
+		}
+	})
+}
+
+// runEngineWorkload executes a fork-join tree on every policy under the
+// given engine and checks exactly-once execution end to end: the user
+// counter, the Spawns==Execs conservation, and — on strict engines — zero
+// absorbed duplicate pops.
+func runEngineWorkload(t *testing.T, kind deque.Kind) {
+	t.Helper()
+	for _, pol := range []Policy{ABP, DWS} {
+		t.Run(pol.String(), func(t *testing.T) {
+			s, err := NewSystem(Config{
+				Cores: 4, Programs: 1, Policy: pol, Engine: kind,
+				CoordPeriod: 2 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			p, err := s.NewProgram("main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total atomic.Int64
+			root, want := parallelSum(&total, 10)
+			for run := 0; run < 3; run++ {
+				total.Store(0)
+				if err := p.Run(root); err != nil {
+					t.Fatal(err)
+				}
+				if got := total.Load(); got != want {
+					t.Fatalf("run %d: sum = %d, want %d (duplicate or lost execution)", run, got, want)
+				}
+			}
+			st := p.Stats()
+			if st.Spawns != st.Execs {
+				t.Fatalf("conservation broken: %d spawns, %d execs", st.Spawns, st.Execs)
+			}
+			if st.DupPops != 0 && !kind.Multiplicity() {
+				t.Fatalf("strict engine %v absorbed %d duplicate pops", kind, st.DupPops)
+			}
+			if st.DupPops > 0 {
+				t.Logf("%v/%v: guard absorbed %d duplicate pops over %d execs", kind, pol, st.DupPops, st.Execs)
+			}
+		})
+	}
+}
+
+func TestEngineWorkloadMatrix(t *testing.T) {
+	for _, kind := range deque.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) { runEngineWorkload(t, kind) })
+	}
+}
+
+// TestRelaxedExecOnceStress forces the duplicate-pop window the relaxed
+// engine opens and proves the execute-once guard closes it, including the
+// node-recycling path: one spawner repeatedly queues a single task while
+// the program's three other workers act as thieves, so the deque spends
+// its life at one element — exactly where a fence-free Pop and two
+// concurrent Steals can all return the same node. Thousands of rounds;
+// every task must run exactly once, and the recycled node a loser still
+// holds must never corrupt a later incarnation (which would show up as a
+// wrong counter, a conservation violation, or a -race report on the
+// free-list).
+func TestRelaxedExecOnceStress(t *testing.T) {
+	s, err := NewSystem(Config{
+		Cores: 4, Programs: 1, Policy: ABP, Engine: deque.KindRelaxed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p, err := s.NewProgram("stress")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 4000
+	var executed atomic.Int64
+	root := func(c *Ctx) {
+		for i := 0; i < rounds; i++ {
+			c.Spawn(func(*Ctx) { executed.Add(1) })
+			// Sync every round keeps the deque at ≤1 element, maximising
+			// the owner-vs-thieves race on the last element (and cycling
+			// each node through claim → free-list → republish every round).
+			// The yield every other round lets thieves reach the element
+			// first, so nodes also migrate (and recycle) across workers.
+			if i&1 == 0 {
+				runtime.Gosched()
+			}
+			c.Sync()
+		}
+	}
+	if err := p.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got != rounds {
+		t.Fatalf("exactly-once broken: %d executions for %d spawned tasks", got, rounds)
+	}
+	st := p.Stats()
+	if st.Spawns != st.Execs {
+		t.Fatalf("conservation broken: %d spawns, %d execs (dupPops=%d)", st.Spawns, st.Execs, st.DupPops)
+	}
+	t.Logf("relaxed: %d rounds, %d steals, guard absorbed %d duplicate pops", rounds, st.Steals, st.DupPops)
+}

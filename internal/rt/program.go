@@ -243,7 +243,8 @@ func (p *Program) Run(root Task) error {
 			p.runActive.Store(false)
 			p.st.runs.Add(1)
 			p.emit(ObsEvent{Kind: ObsRunDone, Core: -1,
-				Spawned: p.st.spawns(), Executed: p.st.execs()})
+				Spawned: p.st.spawns(), Executed: p.st.execs(),
+				DupPops: p.st.dupPops()})
 			return nil
 		case <-tick.C():
 			if p.active.Load() == 0 {

@@ -24,9 +24,13 @@ type worker struct {
 	p  *Program
 	id int
 
-	deque *deque.Deque[taskNode]
+	deque deque.Engine[taskNode]
 	rng   uint64 // xorshift64* victim-selector state; owner-only
 	pool  taskPool
+	// guard arms the execute-once claim on taskNodes. It is set exactly
+	// when the engine has multiplicity (duplicate pops possible); strict
+	// engines pay one predictable branch per execute and nothing else.
+	guard bool
 
 	failedSteals int
 
@@ -38,10 +42,12 @@ type worker struct {
 }
 
 func newWorker(p *Program, id int) *worker {
+	eng := p.sys.cfg.Engine
 	return &worker{
 		p:     p,
 		id:    id,
-		deque: deque.New[taskNode](64),
+		deque: deque.NewEngine[taskNode](eng, 64),
+		guard: eng.Multiplicity(),
 		// Same per-(program, worker) seed family the old rand.Rand used;
 		// xorshift needs a non-zero state, which the +1 guarantees.
 		rng:    uint64(int64(p.idx)*1_000_003 + int64(id)*97 + 1),

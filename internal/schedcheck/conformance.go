@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"dws/internal/deque"
 	"dws/internal/rt"
 	"dws/internal/sim"
 	"dws/internal/task"
@@ -110,10 +111,13 @@ type Divergence struct {
 // PolicyReport is the conformance outcome of one scenario under one
 // policy.
 type PolicyReport struct {
-	Scenario string           `json:"scenario"`
-	Policy   string           `json:"policy"`
-	Sim      SubstrateOutcome `json:"sim"`
-	Live     SubstrateOutcome `json:"live"`
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	// Engine is the deque engine both substrates ran under (resolved once
+	// per conformance run, so CI's engine matrix shows up in artifacts).
+	Engine string           `json:"engine,omitempty"`
+	Sim    SubstrateOutcome `json:"sim"`
+	Live   SubstrateOutcome `json:"live"`
 	// SimTrace is the simulator's trace-event summary (kind → count).
 	SimTrace map[string]int `json:"sim_trace,omitempty"`
 	// CheckerViolations counts live-side invariant violations (their
@@ -124,7 +128,9 @@ type PolicyReport struct {
 
 // Report is a full conformance run.
 type Report struct {
-	Seed    int64          `json:"seed"`
+	Seed int64 `json:"seed"`
+	// Engine is the resolved deque engine every cell ran under.
+	Engine  string         `json:"engine,omitempty"`
 	Reports []PolicyReport `json:"reports"`
 }
 
@@ -222,12 +228,19 @@ var ConformancePolicies = []rt.Policy{rt.ABP, rt.EP, rt.DWS, rt.DWSNC}
 // RunConformance executes every scenario under every policy on both
 // substrates and returns the diff report. seed parameterises the
 // simulator's RNG (the live side derives determinism from the fake clock,
-// not the seed).
+// not the seed). The deque engine is resolved once from the environment
+// (DWS_DEQUE_ENGINE, default Chase–Lev) and threaded through both
+// substrates and the invariant Checker, so CI can sweep the conformance
+// matrix per engine.
 func RunConformance(scenarios []Scenario, policies []rt.Policy, seed int64) (*Report, error) {
-	rep := &Report{Seed: seed}
+	eng, err := deque.KindAuto.Resolve()
+	if err != nil {
+		return nil, fmt.Errorf("schedcheck: %w", err)
+	}
+	rep := &Report{Seed: seed, Engine: eng.String()}
 	for _, sc := range scenarios {
 		for _, pol := range policies {
-			pr, err := runOne(sc, pol, seed)
+			pr, err := runOne(sc, pol, seed, eng)
 			if err != nil {
 				return nil, fmt.Errorf("schedcheck: %s/%s: %w", sc.Name, pol, err)
 			}
@@ -245,19 +258,20 @@ func RunConformance(scenarios []Scenario, policies []rt.Policy, seed int64) (*Re
 // never retried.
 const liveRetries = 2
 
-func runOne(sc Scenario, pol rt.Policy, seed int64) (PolicyReport, error) {
-	simOut, simTrace, err := runSimSide(sc, pol, seed)
+func runOne(sc Scenario, pol rt.Policy, seed int64, eng deque.Kind) (PolicyReport, error) {
+	simOut, simTrace, err := runSimSide(sc, pol, seed, eng)
 	if err != nil {
-		return PolicyReport{Scenario: sc.Name, Policy: pol.String()},
+		return PolicyReport{Scenario: sc.Name, Policy: pol.String(), Engine: eng.String()},
 			fmt.Errorf("sim side: %w", err)
 	}
 	var pr PolicyReport
 	for attempt := 0; ; attempt++ {
-		liveOut, checker, err := runLiveSide(sc, pol)
+		liveOut, checker, err := runLiveSide(sc, pol, eng)
 		if err != nil {
 			return pr, fmt.Errorf("live side: %w", err)
 		}
 		pr = compareOne(sc, pol, simOut, simTrace, liveOut, checker)
+		pr.Engine = eng.String()
 		if len(pr.Divergences) == 0 || attempt >= liveRetries || !timingOnly(pr) {
 			return pr, nil
 		}
@@ -379,11 +393,12 @@ func compareOne(sc Scenario, pol rt.Policy, simOut SubstrateOutcome, simTrace ma
 // runSimSide executes the scenario on the discrete-event simulator with a
 // neutral machine model (no cache or contention penalties), so the diff
 // isolates scheduling behaviour.
-func runSimSide(sc Scenario, pol rt.Policy, seed int64) (SubstrateOutcome, map[string]int, error) {
+func runSimSide(sc Scenario, pol rt.Policy, seed int64, eng deque.Kind) (SubstrateOutcome, map[string]int, error) {
 	cfg := sim.Config{
 		Cores:         sc.Cores,
 		SocketSize:    sc.Cores,
 		Policy:        simPolicy(pol),
+		Engine:        eng,
 		QuantumUS:     1000,
 		CtxSwitchUS:   1,
 		StealCostUS:   2,
@@ -434,7 +449,7 @@ func runSimSide(sc Scenario, pol rt.Policy, seed int64) (SubstrateOutcome, map[s
 // beats and Run's re-wake fallback all fire while the workers burn real
 // CPU; determinism of the *protocol* is asserted by the checker, while
 // durations are wall-clock (used only for shares and ranking).
-func runLiveSide(sc Scenario, pol rt.Policy) (SubstrateOutcome, *Checker, error) {
+func runLiveSide(sc Scenario, pol rt.Policy, eng deque.Kind) (SubstrateOutcome, *Checker, error) {
 	// Core slots are a runtime-level notion; real parallelism must not
 	// exceed the physical host. Oversubscribing GOMAXPROCS pins spinning
 	// workers on competing OS threads, and the OS's millisecond quanta then
@@ -449,12 +464,14 @@ func runLiveSide(sc Scenario, pol rt.Policy) (SubstrateOutcome, *Checker, error)
 		Cores:    sc.Cores,
 		Programs: len(sc.Graphs),
 		Policy:   pol,
+		Engine:   eng,
 	})
 	const coordPeriod = 2 * time.Millisecond
 	rtCfg := rt.Config{
 		Cores:       sc.Cores,
 		Programs:    len(sc.Graphs),
 		Policy:      pol,
+		Engine:      eng,
 		CoordPeriod: coordPeriod,
 		Clock:       fake,
 		Observer:    checker.Observe,

@@ -47,6 +47,9 @@ type Stats struct {
 	// cores those sweeps freed (DWS only).
 	DeadSweeps     int64 `json:"dead_sweeps,omitempty"`
 	CoresRecovered int64 `json:"cores_recovered,omitempty"`
+	// DupPops counts duplicate pops the execute-once guard absorbed
+	// (non-zero only under a multiplicity deque engine such as relaxed).
+	DupPops int64 `json:"dup_pops,omitempty"`
 }
 
 // FromRTStats converts runtime counters to the wire form.
@@ -62,6 +65,7 @@ func FromRTStats(s rt.Stats) Stats {
 		Runs:           s.Runs,
 		DeadSweeps:     s.DeadSweeps,
 		CoresRecovered: s.CoresRecovered,
+		DupPops:        s.DupPops,
 	}
 }
 
@@ -79,6 +83,7 @@ func (s Stats) Sub(o Stats) Stats {
 		Runs:           s.Runs - o.Runs,
 		DeadSweeps:     s.DeadSweeps - o.DeadSweeps,
 		CoresRecovered: s.CoresRecovered - o.CoresRecovered,
+		DupPops:        s.DupPops - o.DupPops,
 	}
 }
 
@@ -130,7 +135,9 @@ type TenantInfo struct {
 // Info is the response of GET /v1/info — enough for a load generator to
 // label its report.
 type Info struct {
-	Policy      string   `json:"policy"`
+	Policy string `json:"policy"`
+	// Engine is the hosted system's resolved deque engine.
+	Engine      string   `json:"engine,omitempty"`
 	Cores       int      `json:"cores"`
 	MaxTenants  int      `json:"max_tenants"`
 	FreeSlots   int      `json:"free_slots"`

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dws/internal/deque"
+	"dws/internal/rt"
+)
+
+// TestServerEngineReporting pins the serving-layer half of the engine
+// plumbing: Config.Engine reaches the hosted system, /v1/info names the
+// resolved engine, and /metrics exposes it as a dws_build_info label.
+func TestServerEngineReporting(t *testing.T) {
+	t.Run("default-chaselev", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "")
+		s, _ := newTestServer(t, Config{Cores: 2, Policy: rt.ABP})
+		if s.Engine() != deque.KindChaseLev {
+			t.Fatalf("default engine = %v, want chaselev", s.Engine())
+		}
+	})
+	t.Run("bad-env-rejected", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "warp-drive")
+		if _, err := New(Config{Cores: 2, Policy: rt.ABP}); err == nil {
+			t.Fatal("New accepted an unknown engine from the environment")
+		}
+	})
+	t.Run("info-and-metrics", func(t *testing.T) {
+		s, hs := newTestServer(t, Config{
+			Cores: 2, Policy: rt.DWS, Engine: deque.KindRelaxed,
+		})
+		if s.Engine() != deque.KindRelaxed {
+			t.Fatalf("Engine() = %v, want relaxed", s.Engine())
+		}
+
+		resp, err := http.Get(hs.URL + "/v1/info")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var info Info
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Engine != "relaxed" {
+			t.Fatalf("info.Engine = %q, want relaxed", info.Engine)
+		}
+
+		mresp, err := http.Get(hs.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mresp.Body.Close()
+		raw, err := io.ReadAll(mresp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metricsText := string(raw)
+		line := ""
+		for _, l := range strings.Split(metricsText, "\n") {
+			if strings.HasPrefix(l, "dws_build_info{") {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("no dws_build_info series in /metrics:\n%s", metricsText)
+		}
+		for _, want := range []string{`engine="relaxed"`, `policy="DWS"`, `go="`} {
+			if !strings.Contains(line, want) {
+				t.Fatalf("dws_build_info missing %s: %s", want, line)
+			}
+		}
+		if !strings.HasSuffix(strings.TrimSpace(line), " 1") {
+			t.Fatalf("dws_build_info value != 1: %s", line)
+		}
+	})
+}

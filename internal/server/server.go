@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"net/http"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dws/internal/deque"
 	"dws/internal/kernels"
 	"dws/internal/metrics"
 	"dws/internal/rt"
@@ -40,6 +42,10 @@ type Config struct {
 	// Cores and Policy configure the hosted rt.System.
 	Cores  int
 	Policy rt.Policy
+	// Engine selects the hosted system's deque engine. The zero value
+	// (deque.KindAuto) resolves through DWS_DEQUE_ENGINE and defaults to
+	// Chase–Lev; unknown names are rejected by New.
+	Engine deque.Kind
 	// MaxTenants is the system's program-slot count m (tenants beyond it
 	// are rejected until one is deleted); ≤0 defaults to Cores.
 	MaxTenants int
@@ -129,6 +135,7 @@ func New(cfg Config) (*Server, error) {
 		Cores:         cfg.Cores,
 		Programs:      cfg.MaxTenants,
 		Policy:        cfg.Policy,
+		Engine:        cfg.Engine,
 		CoordPeriod:   cfg.CoordPeriod,
 		LeaseTTL:      cfg.LeaseTTL,
 		ArbiterPeriod: cfg.ArbiterPeriod,
@@ -156,6 +163,14 @@ func New(cfg Config) (*Server, error) {
 	s.mRunTime = s.reg.NewHistogram("dws_job_run_seconds",
 		"Kernel run time (input generation + execution).", nil, "kernel")
 
+	// Build/config identity as a constant-1 gauge, Prometheus build_info
+	// style: dashboards join on its labels to slice every other series by
+	// policy and deque engine.
+	buildInfo := s.reg.NewGauge("dws_build_info",
+		"Constant 1, labelled with the server's scheduling policy, deque engine, and Go runtime version.",
+		"policy", "engine", "go")
+	buildInfo.With(sys.Policy().String(), sys.Engine().String(), runtime.Version()).Set(1)
+
 	// Scrape-time gauges: live queue depths, program counters, and the
 	// core allocation table.
 	qDepth := s.reg.NewGauge("dws_queue_depth", "Admission queue depth.", "tenant")
@@ -168,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 		"dws_program_claims":        func(st Stats) int64 { return st.Claims },
 		"dws_program_reclaims":      func(st Stats) int64 { return st.Reclaims },
 		"dws_program_runs":          func(st Stats) int64 { return st.Runs },
+		"dws_program_dup_pops":      func(st Stats) int64 { return st.DupPops },
 	}
 	progVecs := make(map[string]metrics.GaugeVec, len(progGauges))
 	for name := range progGauges {
@@ -294,6 +310,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // System exposes the hosted runtime (read-only use: stats, occupancy).
 func (s *Server) System() *rt.System { return s.sys }
+
+// Engine reports the hosted system's resolved deque engine.
+func (s *Server) Engine() deque.Kind { return s.sys.Engine() }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -475,6 +494,7 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, Info{
 		Policy:          s.sys.Policy().String(),
+		Engine:          s.sys.Engine().String(),
 		Cores:           s.sys.Cores(),
 		MaxTenants:      s.cfg.MaxTenants,
 		FreeSlots:       s.sys.FreeSlots(),

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"dws/internal/deque"
+	"dws/internal/task"
+	"dws/internal/workload"
+)
+
+func engineTestGraph(t *testing.T) *task.Graph {
+	t.Helper()
+	b, err := workload.ByID("p-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Make(0.05)
+}
+
+// TestConfigEngineValidation pins the sim side of the engine plumbing:
+// defaults resolve to Chase–Lev, the environment override and explicit
+// kinds work, unknown names are rejected, and a machine reports its
+// resolved engine.
+func TestConfigEngineValidation(t *testing.T) {
+	t.Run("default-chaselev", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "")
+		cfg := DefaultConfig()
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Engine != deque.KindChaseLev {
+			t.Fatalf("default engine = %v, want chaselev", cfg.Engine)
+		}
+	})
+	t.Run("env-override", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "relaxed")
+		cfg := DefaultConfig()
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Engine != deque.KindRelaxed {
+			t.Fatalf("engine with %s=relaxed = %v, want relaxed", deque.EngineEnv, cfg.Engine)
+		}
+	})
+	t.Run("explicit-beats-env", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "relaxed")
+		cfg := DefaultConfig()
+		cfg.Engine = deque.KindLocked
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Engine != deque.KindLocked {
+			t.Fatalf("explicit engine = %v, want locked", cfg.Engine)
+		}
+	})
+	t.Run("bad-env-rejected", func(t *testing.T) {
+		t.Setenv(deque.EngineEnv, "warp-drive")
+		cfg := DefaultConfig()
+		if err := cfg.Validate(); err == nil {
+			t.Fatal("Validate accepted an unknown engine from the environment")
+		}
+	})
+	t.Run("bad-kind-rejected", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.Engine = deque.Kind(99)
+		if err := cfg.Validate(); err == nil {
+			t.Fatal("Validate accepted Kind(99)")
+		}
+	})
+	t.Run("machine-reports-engine", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.Engine = deque.KindRelaxed
+		m, err := NewMachine(cfg, []*task.Graph{engineTestGraph(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Engine() != deque.KindRelaxed {
+			t.Fatalf("Machine.Engine() = %v, want relaxed", m.Engine())
+		}
+	})
+}
+
+// TestSimEngineInvariance pins the documented property that the
+// single-threaded simulator is engine-invariant: identical config and seed
+// produce bit-identical results whichever engine the config names.
+func TestSimEngineInvariance(t *testing.T) {
+	run := func(kind deque.Kind) *Results {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.Cores, cfg.SocketSize = 4, 4
+		cfg.Engine = kind
+		m, err := NewMachine(cfg, []*task.Graph{engineTestGraph(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(RunOpts{TargetRuns: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(deque.KindChaseLev)
+	for _, kind := range []deque.Kind{deque.KindLocked, deque.KindRelaxed} {
+		got := run(kind)
+		if got.EndTimeUS != base.EndTimeUS || got.Events != base.Events {
+			t.Fatalf("%v diverged from chaselev: end %d vs %d, events %d vs %d",
+				kind, got.EndTimeUS, base.EndTimeUS, got.Events, base.Events)
+		}
+	}
+}

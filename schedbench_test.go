@@ -80,11 +80,17 @@ type namedBench struct {
 // rtKernelBench benchmarks one kernel run end-to-end on the live runtime
 // under pol: 4 core slots, one program, per-iteration input reset outside
 // nothing (the copy is part of the op, exactly like the -seq entries, so
-// rt-vs-seq ratios are apples to apples).
+// rt-vs-seq ratios are apples to apples). The engine is pinned to
+// Chase–Lev so the committed baseline is independent of DWS_DEQUE_ENGINE;
+// rtKernelBenchEngine spells out other engines.
 func rtKernelBench(pol rt.Policy, mk func(b *testing.B) (task rt.Task, reset func())) func(b *testing.B) {
+	return rtKernelBenchEngine(pol, deque.KindChaseLev, mk)
+}
+
+func rtKernelBenchEngine(pol rt.Policy, eng deque.Kind, mk func(b *testing.B) (task rt.Task, reset func())) func(b *testing.B) {
 	return func(b *testing.B) {
 		sys, err := rt.NewSystem(rt.Config{
-			Cores: 4, Programs: 1, Policy: pol,
+			Cores: 4, Programs: 1, Policy: pol, Engine: eng,
 			TSleep: 2, CoordPeriod: 2 * time.Millisecond,
 		})
 		if err != nil {
@@ -223,15 +229,59 @@ func coreBattery() []namedBench {
 
 // hotpathBattery is the rt-overhead extension: three kernels end-to-end on
 // the live runtime under DWS and ABP (fft-rt-dws already sits in the core
-// battery). Comparing each entry against its -seq sibling isolates the
-// scheduling overhead the paper claims is small.
+// battery), plus the per-engine deque micro-benchmarks. Comparing each
+// kernel entry against its -seq sibling isolates the scheduling overhead
+// the paper claims is small; the steal-heavy chaselev/relaxed pair is the
+// committed comparison benchgate watches to judge whether the fence-free
+// engine's cheaper Steal (plain store vs CAS) pays off where thieves
+// dominate.
 func hotpathBattery() []namedBench {
+	// stealHeavy drains a full batch through Steal per op — the thief-side
+	// path only — so the engines' steal costs dominate the measurement.
+	const stealBatch = 256
+	stealHeavy := func(d deque.Engine[int]) func(b *testing.B) {
+		return func(b *testing.B) {
+			v := 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < stealBatch; j++ {
+					d.Push(&v)
+				}
+				for j := 0; j < stealBatch; j++ {
+					if d.Steal() == nil {
+						b.Fatal("single-threaded steal lost an element")
+					}
+				}
+			}
+		}
+	}
 	return []namedBench{
 		{"kernels/fft-rt-abp-4096", rtKernelBench(rt.ABP, fftRT)},
 		{"kernels/mergesort-rt-dws-16384", rtKernelBench(rt.DWS, mergesortRT)},
 		{"kernels/mergesort-rt-abp-16384", rtKernelBench(rt.ABP, mergesortRT)},
 		{"kernels/cholesky-rt-dws-64", rtKernelBench(rt.DWS, choleskyRT)},
 		{"kernels/cholesky-rt-abp-64", rtKernelBench(rt.ABP, choleskyRT)},
+		{"deque/relaxed-push-pop", func(b *testing.B) {
+			d := deque.NewRelaxed[int](8)
+			v := 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Push(&v)
+				d.Pop()
+			}
+		}},
+		{"deque/relaxed-push-steal", func(b *testing.B) {
+			d := deque.NewRelaxed[int](8)
+			v := 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Push(&v)
+				d.Steal()
+			}
+		}},
+		{"deque/steal-heavy-chaselev", stealHeavy(deque.New[int](stealBatch))},
+		{"deque/steal-heavy-relaxed", stealHeavy(deque.NewRelaxed[int](stealBatch))},
+		{"kernels/fft-rt-dws-relaxed-4096", rtKernelBenchEngine(rt.DWS, deque.KindRelaxed, fftRT)},
 	}
 }
 
