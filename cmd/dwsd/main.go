@@ -52,6 +52,8 @@ func main() {
 		policy   = flag.String("policy", "DWS", "ABP|EP|DWS|DWS-NC")
 		tenants  = flag.Int("tenants", 0, "max co-running tenants m (0 = cores)")
 		queue    = flag.Int("queue", 16, "per-tenant admission queue depth")
+		gqueue   = flag.Int("global-queue", 0, "global WFQ backlog cap across tenants (0 = tenants*queue/2; negative disables shedding)")
+		earlyRej = flag.Bool("early-reject", true, "reject jobs whose predicted queue wait exceeds their deadline")
 		deadline = flag.Duration("deadline", 30*time.Second, "default per-job deadline")
 		defSize  = flag.Float64("default-size", 0.25, "default job input scale")
 		maxSize  = flag.Float64("max-size", 1.0, "maximum job input scale")
@@ -77,17 +79,19 @@ func main() {
 	}
 
 	s, err := server.New(server.Config{
-		Cores:           *cores,
-		Policy:          pol,
-		Engine:          eng,
-		MaxTenants:      *tenants,
-		QueueDepth:      *queue,
-		DefaultDeadline: *deadline,
-		DefaultSize:     *defSize,
-		MaxSize:         *maxSize,
-		CoordPeriod:     *period,
-		LeaseTTL:        *leaseTTL,
-		ArbiterPeriod:   *arbiter,
+		Cores:            *cores,
+		Policy:           pol,
+		Engine:           eng,
+		MaxTenants:       *tenants,
+		QueueDepth:       *queue,
+		GlobalQueueDepth: *gqueue,
+		NoEarlyReject:    !*earlyRej,
+		DefaultDeadline:  *deadline,
+		DefaultSize:      *defSize,
+		MaxSize:          *maxSize,
+		CoordPeriod:      *period,
+		LeaseTTL:         *leaseTTL,
+		ArbiterPeriod:    *arbiter,
 	})
 	if err != nil {
 		log.Fatalf("dwsd: %v", err)

@@ -173,14 +173,16 @@ func adhocSpec(rate float64, duration time.Duration, tenants, weights string, si
 
 // snapshotTable renders the end-of-run server tenant view: the core-table
 // share each tenant held, the cores the QoS arbiter entitled it to (w=
-// prefixes its declared weight; "-" when arbitration is off), and the
-// admission queue depth left behind.
+// prefixes its declared weight; "-" when arbitration is off), the
+// admission queue depth left behind, and the tenant's shed / early-reject
+// tallies from the WFQ front door.
 func snapshotTable(tinfos []server.TenantInfo) string {
 	if len(tinfos) == 0 {
 		return ""
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "\nserver tenant snapshot:\n%-12s %6s %12s %6s\n", "tenant", "cores", "entitled", "queue")
+	fmt.Fprintf(&sb, "\nserver tenant snapshot:\n%-12s %6s %12s %6s %6s %9s\n",
+		"tenant", "cores", "entitled", "queue", "shed", "earlyrej")
 	for _, ti := range tinfos {
 		cores, entitled := "-", "-"
 		if ti.CoresHeld >= 0 {
@@ -189,7 +191,8 @@ func snapshotTable(tinfos []server.TenantInfo) string {
 		if ti.EntitledCores >= 0 {
 			entitled = fmt.Sprintf("%d(w=%g)", ti.EntitledCores, ti.Weight)
 		}
-		fmt.Fprintf(&sb, "%-12s %6s %12s %6d\n", ti.Name, cores, entitled, ti.QueueDepth)
+		fmt.Fprintf(&sb, "%-12s %6s %12s %6d %6d %9d\n",
+			ti.Name, cores, entitled, ti.QueueDepth, ti.Shed, ti.EarlyRejected)
 	}
 	return sb.String()
 }

@@ -53,10 +53,15 @@ func RunScenarioSuite(logf func(format string, args ...any)) (*ScenarioFile, err
 		if err != nil {
 			return nil, err
 		}
+		// The WFQ front door runs for every policy with the dwsd default
+		// global cap (tenants × queueCap/2 = tenants × 8) and early
+		// rejection on; weights fill in from the trace, so gold-qos
+		// exercises weighted shed and overload-storm exercises the cap.
+		adm := &sim.AdmissionOpts{GlobalCap: len(tr.Tenants()) * 8, EarlyReject: true}
 		for _, pol := range ScenarioPolicies {
 			c := sim.DefaultConfig()
 			c.Policy = pol
-			r, err := scenario.RunSim(tr, scenario.SimOptions{Config: c})
+			r, err := scenario.RunSim(tr, scenario.SimOptions{Config: c, Admission: adm})
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s under %v: %w", spec.Name, pol, err)
 			}
@@ -149,6 +154,27 @@ func CompareScenarios(base, cur *ScenarioFile, tol float64) []string {
 			bad = append(bad, fmt.Sprintf("%s: %s ok-rate %.1f%% → %.1f%%",
 				sc, GatedPolicy, 100*bd.OKRate(), 100*cd.OKRate()))
 		}
+		// Per-tenant ok-rate gate: the weighted scenarios exist to prove
+		// the front door protects high-weight tenants under overload, so
+		// each tenant's ok-rate is held individually — a gold tenant
+		// silently traded for aggregate throughput is exactly the
+		// regression this must catch.
+		baseTenant := map[string]scenario.TenantResult{}
+		for _, bt := range bd.Tenants {
+			baseTenant[bt.Tenant] = bt
+		}
+		for _, ct := range cd.Tenants {
+			bt, ok := baseTenant[ct.Tenant]
+			if !ok || bt.Sent == 0 || ct.Sent == 0 {
+				continue
+			}
+			bRate := float64(bt.OK) / float64(bt.Sent)
+			cRate := float64(ct.OK) / float64(ct.Sent)
+			if cRate < bRate-0.02 {
+				bad = append(bad, fmt.Sprintf("%s: %s tenant %s ok-rate %.1f%% → %.1f%%",
+					sc, GatedPolicy, ct.Tenant, 100*bRate, 100*cRate))
+			}
+		}
 		for _, pol := range base.Policies {
 			if pol == GatedPolicy {
 				continue
@@ -182,16 +208,16 @@ func FormatScenarios(f *ScenarioFile) string {
 	var b strings.Builder
 	for _, sc := range order {
 		fmt.Fprintf(&b, "%s\n", sc)
-		fmt.Fprintf(&b, "  %-8s %6s %6s %5s %8s %9s %9s %9s %7s %10s\n",
-			"policy", "sent", "ok", "late", "expired", "rejected", "p50ms", "p95ms", "jain", "makespanms")
+		fmt.Fprintf(&b, "  %-8s %6s %6s %5s %8s %9s %5s %8s %9s %9s %7s %10s\n",
+			"policy", "sent", "ok", "late", "expired", "rejected", "shed", "earlyrej", "p50ms", "p95ms", "jain", "makespanms")
 		for i, r := range scenario.RankByP95(byScenario[sc]) {
 			mark := " "
 			if i == 0 {
 				mark = "*"
 			}
-			fmt.Fprintf(&b, "%s %-8s %6d %6d %5d %8d %9d %9.2f %9.2f %7.3f %10.0f\n",
-				mark, r.Policy, r.Sent, r.OK, r.Late, r.Expired, r.Rejected,
-				r.Latency.P50, r.Latency.P95, r.Fairness, r.MakespanMS)
+			fmt.Fprintf(&b, "%s %-8s %6d %6d %5d %8d %9d %5d %8d %9.2f %9.2f %7.3f %10.0f\n",
+				mark, r.Policy, r.Sent, r.OK, r.Late, r.Expired, r.Rejected, r.Shed,
+				r.EarlyRejected, r.Latency.P50, r.Latency.P95, r.Fairness, r.MakespanMS)
 		}
 	}
 	fmt.Fprintf(&b, "(best p95 starred; %d cores, %s/%s)\n", f.Cores, runtime.GOOS, runtime.GOARCH)

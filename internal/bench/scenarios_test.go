@@ -102,6 +102,43 @@ func TestCompareScenariosMissingAndOKRate(t *testing.T) {
 	}
 }
 
+// TestCompareScenariosTenantOKRate pins the gold-ok-rate-under-overload
+// gate: an aggregate-neutral trade that sacrifices the gold tenant's
+// ok-rate for bronze throughput is flagged even though the scenario-wide
+// ok-rate is unchanged.
+func TestCompareScenariosTenantOKRate(t *testing.T) {
+	withTenants := func(goldOK, bronzeOK int) *ScenarioFile {
+		f := mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 50, "ABP": 100}})
+		for _, r := range f.Results {
+			r.Sent, r.OK = 100, goldOK+bronzeOK
+			r.Tenants = []scenario.TenantResult{
+				{Tenant: "gold", Sent: 50, OK: goldOK},
+				{Tenant: "bronze", Sent: 50, OK: bronzeOK},
+			}
+		}
+		return f
+	}
+	base := withTenants(50, 40)
+	cur := withTenants(44, 46) // same aggregate (90), gold down 12pp
+	bad := CompareScenarios(base, cur, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "tenant gold") {
+		t.Fatalf("gold tenant ok-rate trade not flagged: %v", bad)
+	}
+	// Within two points is evolution, not a regression.
+	cur = withTenants(50, 40)
+	cur.Results[0].Tenants[0].OK = 49
+	if bad := CompareScenarios(base, cur, 0.10); len(bad) != 0 {
+		t.Fatalf("1pp tenant wiggle flagged: %v", bad)
+	}
+	// A tenant only present in cur (new coverage) needs no baseline.
+	cur = withTenants(50, 40)
+	cur.Results[0].Tenants = append(cur.Results[0].Tenants,
+		scenario.TenantResult{Tenant: "newbie", Sent: 10, OK: 0})
+	if bad := CompareScenarios(base, cur, 0.10); len(bad) != 0 {
+		t.Fatalf("unbaselined tenant flagged: %v", bad)
+	}
+}
+
 func TestScenarioFileRoundTrip(t *testing.T) {
 	f := mkScenarioFile(map[string]map[string]float64{"alpha": {"DWS": 50, "ABP": 100}})
 	path := filepath.Join(t.TempDir(), "s.json")

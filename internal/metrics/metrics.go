@@ -26,6 +26,24 @@ import (
 // latency range from 1ms to ~100s.
 var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 25, 50, 100}
 
+// ExpBuckets returns n exponentially spaced histogram bucket bounds
+// starting at start and growing by factor — the shape queue-wait
+// distributions want (dense near zero, sparse in the tail), where
+// DefBuckets' fixed latency grid wastes resolution. It panics on a
+// non-positive start, a factor ≤ 1, or n < 1, mirroring the
+// NewHistogram ascending-buckets contract.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: ExpBuckets(%v, %v, %d) invalid", start, factor, n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
 var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
 type kind int

@@ -29,7 +29,8 @@ type LiveOptions struct {
 // RunLive replays the trace against a live dwsd, firing each job event at
 // its scaled wall time and classifying responses into the same outcome
 // vocabulary as the simulated replay: 200 → ok (late if past deadline),
-// 429 → rejected, 504 → expired, anything else → error. Leave events
+// 429 → rejected/shed/early_reject per the server's reject-reason
+// header, 504 → expired, anything else → error. Leave events
 // delete the tenant; join events take effect through the tenant's first
 // job (dwsd creates tenants on first use).
 func RunLive(tr *Trace, opts LiveOptions) (*Result, error) {
@@ -163,7 +164,18 @@ func fireJob(client *http.Client, baseURL string, req server.JobRequest) Outcome
 			o.Status = "ok"
 		}
 	case http.StatusTooManyRequests:
-		o.Status = "rejected"
+		// The server names the refusal: a displaced backlog entry is
+		// "shed", a predicted deadline miss is "early_reject", and plain
+		// queue-full/overload answers stay "rejected" — the same
+		// vocabulary the sim emits, so results line up column for column.
+		switch resp.Header.Get(server.RejectReasonHeader) {
+		case "shed":
+			o.Status = "shed"
+		case "early_reject":
+			o.Status = "early_reject"
+		default:
+			o.Status = "rejected"
+		}
 	case http.StatusGatewayTimeout:
 		o.Status = "expired"
 	default:

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"dws/internal/rt"
+	"dws/internal/server"
+	"dws/internal/sim"
+)
+
+// TestLiveScenarioParity is the live-mode scenario CI job: replay the
+// gold-qos and overload-storm catalog scenarios both on the simulator's
+// virtual clock and against an in-process dwsd (at -timescale 0.05, 20×
+// faster than trace time), under DWS and ABP, and fail when the
+// substrates disagree about what matters:
+//
+//   - the policy ranking by ok-rate diverges decisively — one substrate
+//     prefers a policy by ≥10 percentage points and the other prefers a
+//     different policy by ≥10 points — or
+//   - the gold/bronze ok-rate ordering flips — the sim says the
+//     high-weight tenant clearly outlives a neighbour but live serves it
+//     worse.
+//
+// Both checks demand a decisive margin on BOTH substrates before
+// failing: wall-clock replays on small shared CI hosts time-slice the
+// server's worker pool, so close calls are noise, and the parity
+// contract is about clear orderings, not absolute latency. Gated behind
+// SCENARIO_LIVE_CI so ordinary `go test` runs skip the wall-clock
+// replays.
+func TestLiveScenarioParity(t *testing.T) {
+	if os.Getenv("SCENARIO_LIVE_CI") == "" {
+		t.Skip("set SCENARIO_LIVE_CI=1 to run the live scenario parity battery")
+	}
+	const (
+		cores     = 4
+		timeScale = 0.05
+		decisive  = 0.10 // ok-rate gap (10pp) that makes a preference binding
+	)
+	policies := []struct {
+		live rt.Policy
+		sim  sim.Policy
+	}{
+		{rt.DWS, sim.DWS},
+		{rt.ABP, sim.ABP},
+	}
+
+	for _, scName := range []string{"gold-qos", "overload-storm"} {
+		scName := scName
+		t.Run(scName, func(t *testing.T) {
+			tr, err := CompileByName(scName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tenants := tr.Tenants()
+			globalCap := len(tenants) * 8 // dwsd default: tenants × queue/2
+
+			var simResults, liveResults []*Result
+			for _, p := range policies {
+				c := sim.DefaultConfig()
+				c.Policy = p.sim
+				c.Cores = cores
+				sr, err := RunSim(tr, SimOptions{
+					Config:    c,
+					Admission: &sim.AdmissionOpts{GlobalCap: globalCap, EarlyReject: true},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				lr := runLiveOnce(t, tr, server.Config{
+					Cores: cores, Policy: p.live, MaxTenants: len(tenants) + 1,
+					QueueDepth: 16, GlobalQueueDepth: globalCap,
+				}, timeScale)
+				t.Logf("sim:  %s", sr)
+				t.Logf("live: %s", lr)
+				if lr.Errors > 0 {
+					t.Fatalf("%v live replay saw %d transport/server errors", p.live, lr.Errors)
+				}
+				simResults = append(simResults, sr)
+				liveResults = append(liveResults, lr)
+			}
+
+			for i := 0; i < len(simResults); i++ {
+				for j := i + 1; j < len(simResults); j++ {
+					simGap := simResults[i].OKRate() - simResults[j].OKRate()
+					liveGap := liveResults[i].OKRate() - liveResults[j].OKRate()
+					if (simGap >= decisive && liveGap <= -decisive) ||
+						(simGap <= -decisive && liveGap >= decisive) {
+						t.Errorf("policy ranking diverged: sim ok-rates %s=%.2f %s=%.2f, live %s=%.2f %s=%.2f",
+							simResults[i].Policy, simResults[i].OKRate(),
+							simResults[j].Policy, simResults[j].OKRate(),
+							liveResults[i].Policy, liveResults[i].OKRate(),
+							liveResults[j].Policy, liveResults[j].OKRate())
+					}
+				}
+			}
+
+			// Gold/bronze ordering: wherever the sim says the
+			// highest-weight tenant's ok-rate clearly (≥5pp) beats a
+			// neighbour's, live must not decisively (≥5pp) invert it.
+			goldName := highestWeightTenant(tr)
+			if goldName == "" {
+				return // equal-weight scenario: no ordering contract
+			}
+			for i := range simResults {
+				simGold, simRates := tenantOKRates(simResults[i], goldName)
+				liveGold, liveRates := tenantOKRates(liveResults[i], goldName)
+				for name, simRate := range simRates {
+					if simGold >= simRate+0.05 && liveGold < liveRates[name]-0.05 {
+						t.Errorf("%s: gold/bronze ordering flipped for %s vs %s: sim %.2f ≥ %.2f, live %.2f < %.2f",
+							simResults[i].Policy, goldName, name,
+							simGold, simRate, liveGold, liveRates[name])
+					}
+				}
+			}
+		})
+	}
+}
+
+// runLiveOnce spins an in-process dwsd, replays the trace against it, and
+// tears it down.
+func runLiveOnce(t *testing.T, tr *Trace, cfg server.Config, timeScale float64) *Result {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	res, err := RunLive(tr, LiveOptions{BaseURL: hs.URL, TimeScale: timeScale, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// highestWeightTenant returns the tenant with the largest declared weight
+// in the trace, or "" when no tenant declares a weight above 1.
+func highestWeightTenant(tr *Trace) string {
+	best, bestW := "", 1.0
+	for _, e := range tr.Events {
+		if e.Weight > bestW {
+			best, bestW = e.Tenant, e.Weight
+		}
+	}
+	return best
+}
+
+// tenantOKRates returns the named tenant's ok-rate and every other
+// tenant's ok-rate by name (tenants that sent nothing are skipped).
+func tenantOKRates(r *Result, gold string) (float64, map[string]float64) {
+	goldRate := 0.0
+	others := map[string]float64{}
+	for _, tn := range r.Tenants {
+		if tn.Sent == 0 {
+			continue
+		}
+		rate := float64(tn.OK) / float64(tn.Sent)
+		if tn.Tenant == gold {
+			goldRate = rate
+		} else {
+			others[tn.Tenant] = rate
+		}
+	}
+	return goldRate, others
+}

@@ -14,7 +14,8 @@ import (
 type Outcome struct {
 	// Tenant names the submitting program.
 	Tenant string
-	// Status is "ok", "late", "expired", "rejected", or "error".
+	// Status is "ok", "late", "expired", "rejected", "shed",
+	// "early_reject", or "error".
 	Status string
 	// LatencyMS is end-to-end latency (queue wait + run) for ok/late jobs;
 	// 0 otherwise.
@@ -49,13 +50,18 @@ type TenantResult struct {
 	// Sent counts every job event replayed for the tenant.
 	Sent int `json:"sent"`
 	// OK completed within deadline; Late completed past it; Expired timed
-	// out while queued; Rejected were refused at admission (429); Errors
+	// out while queued; Rejected were refused at admission (429); Shed
+	// were admitted then displaced from the backlog by a better-placed
+	// arrival under the global cap; EarlyRejected were refused because
+	// the predicted queue wait already exceeded their deadline; Errors
 	// covers transport or server failures (live replay only).
-	OK       int `json:"ok"`
-	Late     int `json:"late"`
-	Expired  int `json:"expired"`
-	Rejected int `json:"rejected"`
-	Errors   int `json:"errors"`
+	OK            int `json:"ok"`
+	Late          int `json:"late"`
+	Expired       int `json:"expired"`
+	Rejected      int `json:"rejected"`
+	Shed          int `json:"shed,omitempty"`
+	EarlyRejected int `json:"early_rejected,omitempty"`
+	Errors        int `json:"errors"`
 	// Latency summarises completed (ok + late) jobs only: refused and
 	// expired jobs never ran, so mixing them in would fabricate latencies.
 	Latency LatencyMS `json:"latency_ms"`
@@ -68,12 +74,14 @@ type Result struct {
 	// Substrate is "sim" or "live".
 	Substrate string `json:"substrate"`
 
-	Sent     int `json:"sent"`
-	OK       int `json:"ok"`
-	Late     int `json:"late"`
-	Expired  int `json:"expired"`
-	Rejected int `json:"rejected"`
-	Errors   int `json:"errors"`
+	Sent          int `json:"sent"`
+	OK            int `json:"ok"`
+	Late          int `json:"late"`
+	Expired       int `json:"expired"`
+	Rejected      int `json:"rejected"`
+	Shed          int `json:"shed,omitempty"`
+	EarlyRejected int `json:"early_rejected,omitempty"`
+	Errors        int `json:"errors"`
 
 	// Latency summarises completed jobs across all tenants.
 	Latency LatencyMS `json:"latency_ms"`
@@ -125,6 +133,12 @@ func Summarize(scenarioName, policy, substrate string, outcomes []Outcome, makes
 		case "rejected":
 			tr.Rejected++
 			r.Rejected++
+		case "shed":
+			tr.Shed++
+			r.Shed++
+		case "early_reject":
+			tr.EarlyRejected++
+			r.EarlyRejected++
 		default:
 			tr.Errors++
 			r.Errors++
@@ -151,20 +165,20 @@ func Summarize(scenarioName, policy, substrate string, outcomes []Outcome, makes
 
 // String renders a one-line summary.
 func (r *Result) String() string {
-	return fmt.Sprintf("%s/%s [%s]: sent=%d ok=%d late=%d expired=%d rejected=%d err=%d p95=%.1fms jain=%.3f makespan=%.0fms",
-		r.Scenario, r.Policy, r.Substrate, r.Sent, r.OK, r.Late, r.Expired, r.Rejected, r.Errors,
-		r.Latency.P95, r.Fairness, r.MakespanMS)
+	return fmt.Sprintf("%s/%s [%s]: sent=%d ok=%d late=%d expired=%d rejected=%d shed=%d earlyrej=%d err=%d p95=%.1fms jain=%.3f makespan=%.0fms",
+		r.Scenario, r.Policy, r.Substrate, r.Sent, r.OK, r.Late, r.Expired, r.Rejected, r.Shed,
+		r.EarlyRejected, r.Errors, r.Latency.P95, r.Fairness, r.MakespanMS)
 }
 
 // Table renders the per-tenant breakdown.
 func (r *Result) Table() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-12s %6s %6s %6s %7s %8s %6s %9s %9s %9s\n",
-		"tenant", "sent", "ok", "late", "expired", "rejected", "err", "p50ms", "p95ms", "p99ms")
+	fmt.Fprintf(&sb, "%-12s %6s %6s %6s %7s %8s %5s %8s %6s %9s %9s %9s\n",
+		"tenant", "sent", "ok", "late", "expired", "rejected", "shed", "earlyrej", "err", "p50ms", "p95ms", "p99ms")
 	for _, t := range r.Tenants {
-		fmt.Fprintf(&sb, "%-12s %6d %6d %6d %7d %8d %6d %9.2f %9.2f %9.2f\n",
-			t.Tenant, t.Sent, t.OK, t.Late, t.Expired, t.Rejected, t.Errors,
-			t.Latency.P50, t.Latency.P95, t.Latency.P99)
+		fmt.Fprintf(&sb, "%-12s %6d %6d %6d %7d %8d %5d %8d %6d %9.2f %9.2f %9.2f\n",
+			t.Tenant, t.Sent, t.OK, t.Late, t.Expired, t.Rejected, t.Shed, t.EarlyRejected,
+			t.Errors, t.Latency.P50, t.Latency.P95, t.Latency.P99)
 	}
 	return sb.String()
 }

@@ -20,6 +20,13 @@ type SimOptions struct {
 	// HorizonUS aborts a runaway replay; ≤0 derives a generous bound from
 	// the trace length.
 	HorizonUS int64
+	// Admission, when non-nil, routes arrivals through the WFQ front-door
+	// analog (weighted fair queueing, shed-from-max-tail under
+	// GlobalCap, deadline-aware early rejection) instead of the legacy
+	// independent per-tenant FIFOs. A nil Weights field is filled from
+	// the trace's weight declarations, so gold-qos-style traces get the
+	// same weights at admission as at the arbiter.
+	Admission *sim.AdmissionOpts
 }
 
 // defaultArbiterPeriodUS enables the QoS arbiter for weighted DWS traces.
@@ -103,11 +110,20 @@ func RunSim(tr *Trace, opts SimOptions) (*Result, error) {
 	if anyJoin {
 		joinsArg = joins
 	}
+	var admission *sim.AdmissionOpts
+	if opts.Admission != nil {
+		a := *opts.Admission
+		if a.Weights == nil {
+			a.Weights = weights
+		}
+		admission = &a
+	}
 	res, err := m.RunOpen(sim.OpenOpts{
 		Jobs:      jobs,
 		JoinsUS:   joinsArg,
 		QueueCap:  opts.QueueCap,
 		HorizonUS: horizon,
+		Admission: admission,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario: replaying %q under %v: %w", tr.Name, cfg.Policy, err)

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dws/internal/wfq"
+)
+
+// RejectReasonHeader carries the admission verdict on every 429 (and on
+// shed jobs resolved mid-queue), so load generators can tell the four
+// rejection modes apart without parsing bodies.
+const RejectReasonHeader = "X-DWS-Reject-Reason"
+
+// Rejection reasons — mRejected counter label values and
+// RejectReasonHeader values.
+const (
+	reasonQueueFull   = "queue_full"   // the tenant's own bounded queue is full
+	reasonEarlyReject = "early_reject" // predicted queue wait already exceeds the deadline
+	reasonOverload    = "overload"     // global backlog cap hit and the arrival is the worst-placed work
+	reasonShed        = "shed"         // removed from the queue to admit better-placed work
+)
+
+// admitVerdict is the outcome of one admission decision.
+type admitVerdict int
+
+const (
+	admitOK          admitVerdict = iota
+	admitClosed                   // tenant is mid-teardown; the caller should 503
+	admitEarlyReject              // deadline-aware early rejection
+	admitQueueFull                // per-tenant bounded queue full
+	admitOverload                 // global cap hit, arrival would be the shed victim anyway
+)
+
+// admission is the server's WFQ front door: one virtual-time weighted
+// fair queue across every tenant, guarding both the per-tenant bounded
+// depth and a global backlog cap. Tenants' runner goroutines block in
+// popWait on the shared condition variable; submissions enqueue under
+// the same mutex, so WFQ tags, per-tenant FIFO, and the closed flag are
+// all consistent without per-tenant channels.
+//
+// Lock order: Server.mu may be held when taking admission.mu (tenant
+// creation, weight updates, teardown) — never the reverse.
+type admission struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    *wfq.Queue[*job]
+
+	nextFlow    int
+	globalCap   int  // 0 = no global cap (per-tenant depths still apply)
+	earlyReject bool // deadline-aware early rejection at submit
+
+	// fallbackNanos is a server-wide run-time EWMA folded from every
+	// tenant's completed runs. A tenant with no history of its own is
+	// charged this cost in the WFQ instead of wfq.DefaultCost — otherwise
+	// a cold tenant arriving at a saturated server carries a unit-constant
+	// tag that can dwarf every warm flow's tail, and it gets rejected as
+	// "overload" forever because rejected jobs never run and never warm
+	// its EWMA.
+	fallbackNanos atomic.Int64
+}
+
+func newAdmission(globalCap int, earlyReject bool) *admission {
+	a := &admission{
+		q:           wfq.New[*job](),
+		globalCap:   globalCap,
+		earlyReject: earlyReject,
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// register allocates a WFQ flow for a new tenant.
+func (a *admission) register(weight float64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id := a.nextFlow
+	a.nextFlow++
+	a.q.AddFlow(id, weight)
+	return id
+}
+
+// unregister drops a tenant's flow, returning any stranded backlog (in
+// normal teardown the runner has already drained it).
+func (a *admission) unregister(flow int) []*job {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.q.RemoveFlow(flow)
+}
+
+// setWeight re-weights a tenant's flow; already queued jobs keep their
+// tags (wfq semantics), so a mid-backlog declaration cannot jump the
+// queue.
+func (a *admission) setWeight(flow int, weight float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.q.SetWeight(flow, weight)
+}
+
+// lenOf reports a tenant's current backlog.
+func (a *admission) lenOf(flow int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.q.Len(flow)
+}
+
+// total reports the global backlog.
+func (a *admission) total() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.q.Total()
+}
+
+// submit runs the full admission decision for one job:
+//
+//  1. early rejection — with run-time history (EWMA > 0), a job whose
+//     predicted queue wait (EWMA × jobs ahead, including the one in
+//     service) strictly exceeds its deadline is rejected at submit
+//     instead of expiring silently in the queue; borderline jobs are
+//     admitted
+//  2. the tenant's own bounded depth (the pre-WFQ 429)
+//  3. the global cap — when total backlog is at the cap, the arriving
+//     job's would-be finish tag is compared against the globally worst
+//     queued tail: if some other work is placed worse in virtual time it
+//     is shed to make room (shed-from-bronze before reject-gold);
+//     otherwise the arrival itself is rejected
+//
+// On admitOK the returned victim, if non-nil, is the shed job the
+// caller must resolve (StatusShed). On rejection verdicts retry is the
+// Retry-After hint.
+func (a *admission) submit(t *tenant, j *job, deadline time.Duration) (verdict admitVerdict, retry time.Duration, victim *job) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t.closed {
+		return admitClosed, 0, nil
+	}
+	ewma := time.Duration(t.runEWMANanos.Load())
+	backlog := a.q.Len(t.flow)
+	if a.earlyReject && ewma > 0 {
+		ahead := backlog
+		if t.inFlight.Load() {
+			ahead++
+		}
+		if predicted := time.Duration(ahead) * ewma; predicted > deadline {
+			// Honest hint: after predicted−deadline the backlog ahead has
+			// drained enough that an identical job would fit its deadline.
+			return admitEarlyReject, ceilSeconds(predicted - deadline), nil
+		}
+	}
+	if backlog >= t.depth {
+		return admitQueueFull, retryAfterHint(ewma, backlog), nil
+	}
+	cost := ewma.Seconds()
+	if ewma == 0 {
+		// No history yet: charge the server-wide average run time (0 when
+		// the whole server is cold, which wfq maps to DefaultCost).
+		cost = time.Duration(a.fallbackNanos.Load()).Seconds()
+	}
+	if a.globalCap > 0 && a.q.Total() >= a.globalCap {
+		fNew := a.q.TagPreview(t.flow, cost)
+		_, fMax, ok := a.q.PeekMaxTail()
+		if !ok || fMax <= fNew {
+			// The arrival is itself the worst-placed work (this covers a
+			// same-tenant arrival: its own tags are monotone).
+			return admitOverload, retryAfterHint(ewma, backlog), nil
+		}
+		_, victim, _ = a.q.ShedMaxTail()
+	}
+	a.q.Enqueue(t.flow, j, cost)
+	a.cond.Broadcast()
+	return admitOK, 0, victim
+}
+
+// observeCost folds one completed run into the server-wide fallback
+// EWMA (α = 1/4) used to cost tenants with no history of their own.
+func (a *admission) observeCost(d time.Duration) {
+	prev := a.fallbackNanos.Load()
+	if prev == 0 {
+		a.fallbackNanos.Store(int64(d))
+		return
+	}
+	a.fallbackNanos.Store(prev + (int64(d)-prev)/4)
+}
+
+// popWait blocks until the tenant has a queued job or has been closed;
+// it returns false only on close-and-drained, at which point the runner
+// exits.
+func (a *admission) popWait(t *tenant) (*job, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if j, ok := a.q.Pop(t.flow); ok {
+			return j, true
+		}
+		if t.closed {
+			return nil, false
+		}
+		a.cond.Wait()
+	}
+}
+
+// closeTenant stops admission for the tenant and wakes its runner; the
+// runner drains remaining backlog (serving it, or failing fast if the
+// tenant was evicted) before exiting.
+func (a *admission) closeTenant(t *tenant) {
+	a.mu.Lock()
+	t.closed = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// retryAfterHint estimates how long until a backlogged tenant has room:
+// roughly half a queue's worth of average runs, at least one second (the
+// Retry-After header has one-second resolution).
+func retryAfterHint(ewma time.Duration, backlog int) time.Duration {
+	est := time.Duration(backlog/2+1) * ewma
+	if est < time.Second {
+		return time.Second
+	}
+	return ceilSeconds(est)
+}
+
+// ceilSeconds rounds up to whole seconds with a one-second floor.
+func ceilSeconds(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	return time.Duration(math.Ceil(d.Seconds())) * time.Second
+}

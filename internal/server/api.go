@@ -92,6 +92,7 @@ const (
 	StatusOK       = "ok"       // ran to completion
 	StatusExpired  = "expired"  // deadline passed while queued; never started
 	StatusCanceled = "canceled" // client went away while queued; never started
+	StatusShed     = "shed"     // removed from the queue under global overload; never started
 )
 
 // JobResult is the response of POST /v1/jobs and one record of
@@ -119,6 +120,11 @@ type TenantInfo struct {
 	QueueDepth int    `json:"queue_depth"`
 	QueueCap   int    `json:"queue_cap"`
 	JobsServed int64  `json:"jobs_served"`
+	// Shed counts queued jobs removed under global overload to admit
+	// better-placed work; EarlyRejected counts jobs 429'd at submit
+	// because their predicted queue wait exceeded their deadline.
+	Shed          int64 `json:"shed,omitempty"`
+	EarlyRejected int64 `json:"early_rejected,omitempty"`
 	// CoresHeld is the tenant's current core allocation table share
 	// (DWS only; -1 when the policy has no table).
 	CoresHeld int `json:"cores_held"`
@@ -137,11 +143,15 @@ type TenantInfo struct {
 type Info struct {
 	Policy string `json:"policy"`
 	// Engine is the hosted system's resolved deque engine.
-	Engine      string   `json:"engine,omitempty"`
-	Cores       int      `json:"cores"`
-	MaxTenants  int      `json:"max_tenants"`
-	FreeSlots   int      `json:"free_slots"`
-	QueueDepth  int      `json:"queue_depth"`
+	Engine     string `json:"engine,omitempty"`
+	Cores      int    `json:"cores"`
+	MaxTenants int    `json:"max_tenants"`
+	FreeSlots  int    `json:"free_slots"`
+	QueueDepth int    `json:"queue_depth"`
+	// GlobalQueue is the backlog cap across all tenants (0 = uncapped);
+	// EarlyReject reports whether deadline-aware early rejection is on.
+	GlobalQueue int      `json:"global_queue_depth,omitempty"`
+	EarlyReject bool     `json:"early_reject,omitempty"`
 	DefaultSize float64  `json:"default_size"`
 	Kernels     []string `json:"kernels"`
 	// ArbiterPeriodMS is the QoS arbitration period (0 = disabled).

@@ -18,12 +18,17 @@ import (
 // monotone in both the average run time and the queue depth — a fuller
 // queue of slower jobs must never produce a *shorter* hint.
 func TestRetryAfterMonotone(t *testing.T) {
+	// The tenants live on a real WFQ admission layer — the hint must read
+	// its backlog, not a private channel.
 	mk := func(ewma time.Duration, queued int) *tenant {
-		tn := &tenant{queue: make(chan *job, 16)}
+		s := &Server{adm: newAdmission(0, true)}
+		tn := &tenant{srv: s, depth: 32, flow: s.adm.register(1)}
 		tn.runEWMANanos.Store(int64(ewma))
+		s.adm.mu.Lock()
 		for i := 0; i < queued; i++ {
-			tn.queue <- &job{}
+			s.adm.q.Enqueue(tn.flow, &job{}, 0)
 		}
+		s.adm.mu.Unlock()
 		return tn
 	}
 	cases := []struct {
@@ -143,7 +148,7 @@ func TestDrainCompletesInFlight(t *testing.T) {
 	// Wait until the job is demonstrably running, then drain.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if tl := s.tenantList(); len(tl) == 1 && tl[0].prog.Stats().Runs == 0 && len(tl[0].queue) == 0 {
+		if tl := s.tenantList(); len(tl) == 1 && tl[0].prog.Stats().Runs == 0 && tl[0].queueLen() == 0 {
 			break // admitted, dequeued, not yet finished: it is running
 		}
 		if time.Now().After(deadline) {
@@ -266,4 +271,218 @@ func TestWedgedTenantEvicted(t *testing.T) {
 	if resp, res := submit(t, hs.URL, JobRequest{Tenant: "a", Kernel: "FFT", Size: 0.02}); resp.StatusCode != http.StatusOK || res.Status != StatusOK {
 		t.Fatalf("re-admission after eviction: status %d res %+v", resp.StatusCode, res)
 	}
+}
+
+// TestEarlyRejectionTable drives the deadline-aware early-rejection
+// decision directly through the admission layer, table-style: no
+// run-time history admits (nothing to predict from), predicted wait
+// strictly over the deadline rejects with a Retry-After that grows with
+// the excess, the borderline (predicted == deadline) is admitted, the
+// in-service job counts toward the prediction, and disabling the
+// feature admits everything the bounded depth allows.
+func TestEarlyRejectionTable(t *testing.T) {
+	mk := func(earlyReject bool, ewma time.Duration, backlog int, inFlight bool) (*Server, *tenant) {
+		s := &Server{adm: newAdmission(0, earlyReject)}
+		tn := &tenant{srv: s, depth: 64, flow: s.adm.register(1)}
+		tn.runEWMANanos.Store(int64(ewma))
+		tn.inFlight.Store(inFlight)
+		s.adm.mu.Lock()
+		for i := 0; i < backlog; i++ {
+			s.adm.q.Enqueue(tn.flow, &job{}, ewma.Seconds())
+		}
+		s.adm.mu.Unlock()
+		return s, tn
+	}
+	cases := []struct {
+		name        string
+		earlyReject bool
+		ewma        time.Duration
+		backlog     int
+		inFlight    bool
+		deadline    time.Duration
+		wantVerdict admitVerdict
+		wantRetry   time.Duration
+	}{
+		{"no history admits blind", true, 0, 10, true, time.Millisecond, admitOK, 0},
+		{"predicted exceeds deadline", true, 100 * time.Millisecond, 4, false, 300 * time.Millisecond, admitEarlyReject, time.Second},
+		{"borderline admitted", true, 100 * time.Millisecond, 3, false, 300 * time.Millisecond, admitOK, 0},
+		{"in-service counts", true, 100 * time.Millisecond, 3, true, 300 * time.Millisecond, admitEarlyReject, time.Second},
+		{"disabled admits", false, 100 * time.Millisecond, 10, true, time.Millisecond, admitOK, 0},
+		{"retry scales with excess", true, time.Second, 9, false, 2 * time.Second, admitEarlyReject, 7 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, tn := mk(tc.earlyReject, tc.ewma, tc.backlog, tc.inFlight)
+			verdict, retry, victim := s.adm.submit(tn, &job{}, tc.deadline)
+			if verdict != tc.wantVerdict {
+				t.Fatalf("verdict = %d, want %d", verdict, tc.wantVerdict)
+			}
+			if victim != nil {
+				t.Fatal("no global cap configured, yet a job was shed")
+			}
+			if tc.wantVerdict == admitEarlyReject && retry != tc.wantRetry {
+				t.Fatalf("retry = %v, want %v", retry, tc.wantRetry)
+			}
+		})
+	}
+	// Ordering: a job that is both doomed (predicted > deadline) and
+	// facing a full queue reports early_reject — the more actionable
+	// verdict (waiting for queue room would not help it).
+	s, tn := mk(true, 100*time.Millisecond, 64, false)
+	if verdict, _, _ := s.adm.submit(tn, &job{}, time.Millisecond); verdict != admitEarlyReject {
+		t.Fatalf("doomed job at a full queue: verdict %d, want early reject", verdict)
+	}
+	// And with a healthy deadline, the same full queue reports queue_full.
+	s, tn = mk(true, 100*time.Millisecond, 64, false)
+	if verdict, _, _ := s.adm.submit(tn, &job{}, time.Hour); verdict != admitQueueFull {
+		t.Fatalf("full queue with a generous deadline: verdict %d, want queue full", verdict)
+	}
+}
+
+// TestShedDecisionTable pins the global-cap shed policy at the admission
+// layer: at the cap, a well-placed (heavy-weight) arrival displaces the
+// worst-placed queued tail; an arrival that would itself be the worst
+// placed is rejected with the overload reason — including the
+// same-tenant case, whose own tags are monotone.
+func TestShedDecisionTable(t *testing.T) {
+	mk := func() (*Server, *tenant, *tenant) {
+		s := &Server{adm: newAdmission(4, false)}
+		gold := &tenant{srv: s, name: "gold", depth: 8, flow: s.adm.register(2)}
+		bronze := &tenant{srv: s, name: "bronze", depth: 8, flow: s.adm.register(1)}
+		gold.runEWMANanos.Store(int64(100 * time.Millisecond))
+		bronze.runEWMANanos.Store(int64(100 * time.Millisecond))
+		s.adm.mu.Lock()
+		for i := 0; i < 2; i++ {
+			s.adm.q.Enqueue(gold.flow, &job{tn: gold}, 0.1)
+			s.adm.q.Enqueue(bronze.flow, &job{tn: bronze}, 0.1)
+		}
+		s.adm.mu.Unlock()
+		return s, gold, bronze
+	}
+
+	s, gold, bronze := mk()
+	verdict, _, victim := s.adm.submit(gold, &job{tn: gold}, time.Hour)
+	if verdict != admitOK || victim == nil || victim.tn != bronze {
+		t.Fatalf("gold arrival at cap: verdict %d victim %+v, want admit with a bronze victim", verdict, victim)
+	}
+	if got := s.adm.lenOf(bronze.flow); got != 1 {
+		t.Fatalf("bronze backlog after shed = %d, want 1", got)
+	}
+	if got := s.adm.total(); got != 4 {
+		t.Fatalf("total after shed+admit = %d, want the cap (4)", got)
+	}
+
+	// A bronze arrival is the worst-placed work itself: rejected, nothing
+	// shed, backlog unchanged.
+	s, _, bronze = mk()
+	verdict, retry, victim := s.adm.submit(bronze, &job{tn: bronze}, time.Hour)
+	if verdict != admitOverload || victim != nil {
+		t.Fatalf("bronze arrival at cap: verdict %d victim %v, want overload reject", verdict, victim)
+	}
+	if retry < time.Second {
+		t.Fatalf("overload reject without a Retry-After floor: %v", retry)
+	}
+	if got := s.adm.total(); got != 4 {
+		t.Fatalf("total after overload reject = %d, want unchanged 4", got)
+	}
+
+	// Equal weights degenerate: an arrival never displaces anything (its
+	// own tag is always the worst or tied), so the global cap behaves as
+	// a plain reject — today's behavior.
+	s = &Server{adm: newAdmission(2, false)}
+	a := &tenant{srv: s, name: "a", depth: 8, flow: s.adm.register(1)}
+	b := &tenant{srv: s, name: "b", depth: 8, flow: s.adm.register(1)}
+	s.adm.mu.Lock()
+	s.adm.q.Enqueue(a.flow, &job{tn: a}, 1)
+	s.adm.q.Enqueue(b.flow, &job{tn: b}, 1)
+	s.adm.mu.Unlock()
+	if verdict, _, victim := s.adm.submit(a, &job{tn: a}, time.Hour); verdict != admitOverload || victim != nil {
+		t.Fatalf("equal weights at cap: verdict %d victim %v, want plain overload reject", verdict, victim)
+	}
+
+	// Cold-tenant regression: a weight-2 tenant with NO run history
+	// arriving at a cap full of warm cheap bronze work must still shed its
+	// way in. Its cost comes from the server-wide fallback EWMA, not
+	// wfq.DefaultCost — a unit-constant cost would make the newcomer's tag
+	// the worst in the queue and starve it forever (rejected jobs never
+	// warm the EWMA).
+	s, gold, bronze = mk()
+	gold.runEWMANanos.Store(0)
+	s.adm.mu.Lock()
+	for {
+		if _, ok := s.adm.q.Pop(gold.flow); !ok {
+			break
+		}
+	}
+	s.adm.q.Enqueue(bronze.flow, &job{tn: bronze}, 0.1)
+	s.adm.q.Enqueue(bronze.flow, &job{tn: bronze}, 0.1)
+	s.adm.mu.Unlock()
+	s.adm.observeCost(100 * time.Millisecond) // server-wide history from bronze runs
+	verdict, _, victim = s.adm.submit(gold, &job{tn: gold}, time.Hour)
+	if verdict != admitOK || victim == nil || victim.tn != bronze {
+		t.Fatalf("cold gold at warm cap: verdict %d victim %+v, want admit with a bronze victim", verdict, victim)
+	}
+}
+
+// TestSilentExpiryReplaced is the regression pair for the path early
+// rejection replaces: with prediction disabled a doomed job still takes
+// the legacy expired-while-queued 504 (never silently dropped), and
+// with it enabled the same doomed job gets an immediate 429 +
+// Retry-After + reason header instead of burning its deadline in the
+// queue.
+func TestSilentExpiryReplaced(t *testing.T) {
+	run := func(t *testing.T, noEarly bool) (*http.Response, JobResult) {
+		_, hs := newTestServer(t, Config{
+			Cores: 2, Policy: rt.DWS, MaxTenants: 1, QueueDepth: 8,
+			NoEarlyReject: noEarly,
+		})
+		// Warm the EWMA so the predictor has history.
+		if resp, _ := submit(t, hs.URL, JobRequest{Tenant: "a", Kernel: "Mergesort", Size: 0.4}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm-up: status %d", resp.StatusCode)
+		}
+		// Pin the runner, then submit a job that cannot make its deadline.
+		pin := make(chan struct{})
+		go func() {
+			defer close(pin)
+			submit(t, hs.URL, JobRequest{Tenant: "a", Kernel: "Mergesort", Size: 1.0})
+		}()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var tenants []TenantInfo
+			getJSON(t, hs.URL+"/v1/tenants", &tenants)
+			if len(tenants) == 1 && tenants[0].JobsServed == 1 && tenants[0].QueueDepth == 0 &&
+				tenants[0].Stats.Runs == 1 {
+				// The warm-up finished and the pin was dequeued: it is running.
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("pin never started")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		resp, res := submit(t, hs.URL, JobRequest{
+			Tenant: "a", Kernel: "FFT", Size: 0.02, DeadlineMS: 1,
+		})
+		<-pin
+		return resp, res
+	}
+
+	t.Run("disabled keeps the 504 expiry", func(t *testing.T) {
+		resp, _ := run(t, true)
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status %d, want 504 (legacy expired-while-queued)", resp.StatusCode)
+		}
+	})
+	t.Run("enabled rejects at submit", func(t *testing.T) {
+		resp, _ := run(t, false)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429 (early rejection)", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("early rejection without a Retry-After header")
+		}
+		if got := resp.Header.Get(RejectReasonHeader); got != reasonEarlyReject {
+			t.Errorf("reject reason %q, want %q", got, reasonEarlyReject)
+		}
+	})
 }

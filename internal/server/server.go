@@ -51,6 +51,18 @@ type Config struct {
 	MaxTenants int
 	// QueueDepth bounds each tenant's admission queue; ≤0 defaults to 16.
 	QueueDepth int
+	// GlobalQueueDepth caps the total backlog across all tenants. At the
+	// cap, an arriving job displaces the globally worst-placed queued job
+	// in WFQ virtual time if there is one (shed-from-bronze before
+	// reject-gold) and is rejected otherwise. 0 defaults to
+	// MaxTenants×QueueDepth/2 (floored at QueueDepth); negative disables
+	// the global cap entirely.
+	GlobalQueueDepth int
+	// NoEarlyReject disables deadline-aware early rejection. By default a
+	// job whose predicted queue wait (run-time EWMA × backlog ahead)
+	// already exceeds its deadline is 429'd at submit with an honest
+	// Retry-After instead of expiring silently in the queue.
+	NoEarlyReject bool
 	// DefaultDeadline applies to jobs that do not set deadline_ms;
 	// ≤0 defaults to 30s.
 	DefaultDeadline time.Duration
@@ -83,6 +95,15 @@ func (c *Config) validate() error {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 16
+	}
+	switch {
+	case c.GlobalQueueDepth < 0:
+		c.GlobalQueueDepth = 0 // explicitly disabled
+	case c.GlobalQueueDepth == 0:
+		c.GlobalQueueDepth = c.MaxTenants * c.QueueDepth / 2
+		if c.GlobalQueueDepth < c.QueueDepth {
+			c.GlobalQueueDepth = c.QueueDepth
+		}
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 30 * time.Second
@@ -117,13 +138,19 @@ type Server struct {
 	tenants  map[string]*tenant
 	draining bool
 
+	// adm is the WFQ admission layer shared by every tenant.
+	adm *admission
+
 	// instruments
-	mJobs      metrics.CounterVec // tenant, kernel, status
-	mRejected  metrics.CounterVec // tenant, reason
-	mEvicted   metrics.CounterVec // tenant
-	mLatency   metrics.HistogramVec
-	mQueueWait metrics.HistogramVec
-	mRunTime   metrics.HistogramVec
+	mJobs          metrics.CounterVec // tenant, kernel, status
+	mRejected      metrics.CounterVec // tenant, reason
+	mShed          metrics.CounterVec // tenant
+	mEarlyRejected metrics.CounterVec // tenant
+	mEvicted       metrics.CounterVec // tenant
+	mLatency       metrics.HistogramVec
+	mQueueWait     metrics.HistogramVec
+	mAdmissionWait metrics.HistogramVec
+	mRunTime       metrics.HistogramVec
 }
 
 // New builds a server and its rt.System.
@@ -149,17 +176,25 @@ func New(cfg Config) (*Server, error) {
 		reg:     metrics.NewRegistry(),
 		mux:     http.NewServeMux(),
 		tenants: make(map[string]*tenant),
+		adm:     newAdmission(cfg.GlobalQueueDepth, !cfg.NoEarlyReject),
 	}
 	s.mJobs = s.reg.NewCounter("dws_jobs_total",
 		"Jobs by final status.", "tenant", "kernel", "status")
 	s.mRejected = s.reg.NewCounter("dws_jobs_rejected_total",
 		"Jobs rejected at admission.", "tenant", "reason")
+	s.mShed = s.reg.NewCounter("dws_jobs_shed_total",
+		"Queued jobs shed under global overload to admit better-placed work.", "tenant")
+	s.mEarlyRejected = s.reg.NewCounter("dws_jobs_early_rejected_total",
+		"Jobs rejected at submit because their predicted queue wait exceeded their deadline.", "tenant")
 	s.mEvicted = s.reg.NewCounter("dws_tenants_evicted_total",
 		"Tenants evicted because their program's core-table lease expired.", "tenant")
 	s.mLatency = s.reg.NewHistogram("dws_job_latency_seconds",
 		"End-to-end job latency (queue wait + run).", nil, "tenant", "kernel")
 	s.mQueueWait = s.reg.NewHistogram("dws_job_queue_seconds",
 		"Time jobs spend in the admission queue.", nil, "tenant")
+	s.mAdmissionWait = s.reg.NewHistogram("dws_admission_wait_seconds",
+		"Time between WFQ admission and dequeue, for every departure (served, expired, or shed).",
+		metrics.ExpBuckets(0.001, 2, 16), "tenant")
 	s.mRunTime = s.reg.NewHistogram("dws_job_run_seconds",
 		"Kernel run time (input generation + execution).", nil, "kernel")
 
@@ -192,10 +227,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	freeSlots := s.reg.NewGauge("dws_free_tenant_slots",
 		"Program slots available for new tenants.")
+	globalDepth := s.reg.NewGauge("dws_global_queue_depth",
+		"Total admission backlog across all tenants (WFQ).")
 	s.reg.OnScrape(func() {
 		freeSlots.With().Set(float64(s.sys.FreeSlots()))
+		globalDepth.With().Set(float64(s.adm.total()))
 		for _, t := range s.tenantList() {
-			qDepth.With(t.name).Set(float64(len(t.queue)))
+			qDepth.With(t.name).Set(float64(t.queueLen()))
 			st := FromRTStats(t.prog.Stats())
 			for name, get := range progGauges {
 				progVecs[name].With(t.name).Set(float64(get(st)))
@@ -295,7 +333,7 @@ func (s *Server) onDeadProgram(slot int, _ int32, _ int) {
 			victim = t
 			delete(s.tenants, name)
 			t.evicted.Store(true)
-			close(t.queue)
+			s.adm.closeTenant(t)
 			break
 		}
 	}
@@ -396,7 +434,8 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	// A declared weight or SLO updates the tenant's QoS; omitted fields
 	// keep the current declaration. The arbiter reads these on its next
-	// tick, so entitlements follow within one period.
+	// tick, so entitlements follow within one period; the WFQ flow weight
+	// follows immediately (already queued jobs keep their tags).
 	if req.Weight > 0 || req.SLOMs > 0 {
 		weight, slo := t.prog.QoS()
 		if req.Weight > 0 {
@@ -406,23 +445,45 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			slo = time.Duration(req.SLOMs) * time.Millisecond
 		}
 		t.prog.SetQoS(weight, slo)
-	}
-	admitted := false
-	select {
-	case t.queue <- j:
-		admitted = true
-	default:
+		s.adm.setWeight(t.flow, weight)
 	}
 	s.mu.Unlock()
 
-	if !admitted {
-		s.mRejected.With(req.Tenant, "queue_full").Inc()
-		retry := t.retryAfter()
+	j.tn = t
+	verdict, retry, victim := s.adm.submit(t, j, deadline)
+	reject := func(reason, format string, args ...any) {
+		s.mRejected.With(req.Tenant, reason).Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
-		writeError(w, http.StatusTooManyRequests,
-			"tenant %q admission queue is full (%d deep); retry in %v",
-			req.Tenant, cap(t.queue), retry)
+		w.Header().Set(RejectReasonHeader, reason)
+		writeError(w, http.StatusTooManyRequests, format, args...)
+	}
+	switch verdict {
+	case admitClosed:
+		// The tenant was torn down between the map lookup and the
+		// admission decision (deletion, drain, or eviction race).
+		s.mRejected.With(req.Tenant, "draining").Inc()
+		writeError(w, http.StatusServiceUnavailable,
+			"tenant %q is shutting down; retry to re-create it", req.Tenant)
 		return
+	case admitEarlyReject:
+		t.earlyRejected.Add(1)
+		s.mEarlyRejected.With(req.Tenant).Inc()
+		reject(reasonEarlyReject,
+			"predicted queue wait already exceeds the %v deadline; retry in %v", deadline, retry)
+		return
+	case admitQueueFull:
+		reject(reasonQueueFull,
+			"tenant %q admission queue is full (%d deep); retry in %v",
+			req.Tenant, t.depth, retry)
+		return
+	case admitOverload:
+		reject(reasonOverload,
+			"server backlog is at its global cap (%d) and no lower-priority work is queued; retry in %v",
+			s.cfg.GlobalQueueDepth, retry)
+		return
+	}
+	if victim != nil {
+		s.resolveShed(victim)
 	}
 
 	select {
@@ -453,8 +514,33 @@ func (s *Server) writeResult(w http.ResponseWriter, j *job) {
 		code = http.StatusGatewayTimeout
 	case StatusCanceled:
 		code = http.StatusServiceUnavailable
+	case StatusShed:
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(int(j.retry.Seconds())))
+		w.Header().Set(RejectReasonHeader, reasonShed)
 	}
 	writeJSON(w, code, j.res)
+}
+
+// resolveShed finishes a job that the WFQ layer removed from the queue
+// under global overload: its blocked submit handler answers 429 with an
+// honest Retry-After, exactly as if the job had been rejected up front.
+func (s *Server) resolveShed(j *job) {
+	t := j.tn
+	queueWait := time.Since(j.enqueued)
+	j.retry = t.retryAfter()
+	j.res = JobResult{
+		ID: j.id, Tenant: t.name, Kernel: j.spec.Name,
+		Policy: s.sys.Policy().String(), Cores: s.sys.Cores(), Size: j.size,
+		Status:  StatusShed,
+		QueueMS: ms(queueWait), TotalMS: ms(queueWait),
+	}
+	t.shed.Add(1)
+	s.mShed.With(t.name).Inc()
+	s.mRejected.With(t.name, reasonShed).Inc()
+	s.mJobs.With(t.name, j.spec.Name, StatusShed).Inc()
+	s.mAdmissionWait.With(t.name).Observe(queueWait.Seconds())
+	close(j.done)
 }
 
 func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
@@ -480,7 +566,7 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.tenants[name]
 	if ok {
 		delete(s.tenants, name)
-		close(t.queue)
+		s.adm.closeTenant(t)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -499,6 +585,8 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 		MaxTenants:      s.cfg.MaxTenants,
 		FreeSlots:       s.sys.FreeSlots(),
 		QueueDepth:      s.cfg.QueueDepth,
+		GlobalQueue:     s.cfg.GlobalQueueDepth,
+		EarlyReject:     !s.cfg.NoEarlyReject,
 		DefaultSize:     s.cfg.DefaultSize,
 		Kernels:         kernels.Names(),
 		ArbiterPeriodMS: float64(s.cfg.ArbiterPeriod) / float64(time.Millisecond),
@@ -531,7 +619,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	ts := make([]*tenant, 0, len(s.tenants))
 	for name, t := range s.tenants {
 		delete(s.tenants, name)
-		close(t.queue)
+		s.adm.closeTenant(t)
 		ts = append(ts, t)
 	}
 	s.mu.Unlock()

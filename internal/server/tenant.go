@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"math"
 	"sync/atomic"
 	"time"
 
@@ -10,8 +9,8 @@ import (
 	"dws/internal/rt"
 )
 
-// job is one admitted request travelling from the HTTP handler through a
-// tenant's queue to its runner goroutine.
+// job is one admitted request travelling from the HTTP handler through
+// the WFQ admission queue to its tenant's runner goroutine.
 type job struct {
 	id       uint64
 	req      JobRequest
@@ -19,61 +18,86 @@ type job struct {
 	size     float64
 	ctx      context.Context
 	enqueued time.Time
+	tn       *tenant
 
-	// res is written by the runner before done is closed.
+	// retry is the Retry-After hint attached when the job is resolved as
+	// shed (removed from the queue to admit better-placed work).
+	retry time.Duration
+
+	// res is written by whoever resolves the job (runner or shedder)
+	// before done is closed.
 	res  JobResult
 	done chan struct{}
 }
 
-// tenant is one co-running program plus its bounded admission queue and
-// the single runner goroutine that feeds jobs to the program serially.
+// tenant is one co-running program plus its WFQ admission flow and the
+// single runner goroutine that feeds queued jobs to the program
+// serially.
 type tenant struct {
 	name string
 	srv  *Server
 	prog *rt.Program
 
-	// queue is the bounded admission queue. Sends happen only under
-	// Server.mu (so close() cannot race a send); the runner is the sole
-	// receiver.
-	queue chan *job
+	// flow is the tenant's WFQ flow ID; depth bounds its backlog.
+	flow  int
+	depth int
 
-	// evicted is set (before the queue is closed) when the program's
-	// lease expired: remaining queued jobs are failed fast instead of run.
+	// closed stops admission and tells the runner to exit once the flow
+	// is drained. Guarded by srv.adm.mu.
+	closed bool
+
+	// evicted is set (before closed) when the program's lease expired:
+	// remaining queued jobs are failed fast instead of run.
 	evicted atomic.Bool
 
-	jobsServed atomic.Int64
+	// inFlight is true while the runner is executing a job — the "+1 in
+	// service" term of the early-rejection wait prediction.
+	inFlight atomic.Bool
+
+	jobsServed    atomic.Int64
+	shed          atomic.Int64
+	earlyRejected atomic.Int64
 	// runEWMANanos tracks an exponentially weighted moving average of run
-	// time, used to compute honest Retry-After hints under backpressure.
+	// time — the WFQ service cost, the early-rejection wait predictor,
+	// and the Retry-After hint all derive from it.
 	runEWMANanos atomic.Int64
 
 	exited chan struct{} // closed when the runner has drained and stopped
 }
 
 func newTenant(s *Server, name string, prog *rt.Program) *tenant {
+	weight, _ := prog.QoS()
 	t := &tenant{
 		name:   name,
 		srv:    s,
 		prog:   prog,
-		queue:  make(chan *job, s.cfg.QueueDepth),
+		flow:   s.adm.register(weight),
+		depth:  s.cfg.QueueDepth,
 		exited: make(chan struct{}),
 	}
 	go t.run()
 	return t
 }
 
-// run drains the queue until it is closed (tenant deletion, server
-// drain, or lease-expiry eviction), then closes the program. Queued jobs
-// admitted before the close are still served — graceful drain — unless
-// the tenant was evicted, in which case a wedged program cannot be
-// trusted with them and they are failed fast.
+// run drains the tenant's WFQ flow until it is closed (tenant deletion,
+// server drain, or lease-expiry eviction), then closes the program.
+// Queued jobs admitted before the close are still served — graceful
+// drain — unless the tenant was evicted, in which case a wedged program
+// cannot be trusted with them and they are failed fast.
 func (t *tenant) run() {
-	for j := range t.queue {
+	for {
+		j, ok := t.srv.adm.popWait(t)
+		if !ok {
+			break
+		}
+		t.srv.mAdmissionWait.With(t.name).Observe(time.Since(j.enqueued).Seconds())
 		if t.evicted.Load() {
 			t.failFast(j)
 			continue
 		}
 		t.serve(j)
 	}
+	t.srv.adm.unregister(t.flow)
 	t.prog.Close()
 	close(t.exited)
 }
@@ -101,7 +125,9 @@ func (t *tenant) serve(j *job) {
 	t.prog.ReportQueueWait(queueWait)
 	if err := j.ctx.Err(); err != nil {
 		// The deadline passed (or the client went away) while the job was
-		// queued: skip it — the work would be wasted.
+		// queued: skip it — the work would be wasted. With early rejection
+		// enabled this is the residual race (a run slower than the EWMA
+		// predicted); with it disabled, the only deadline backstop.
 		status := StatusCanceled
 		if err == context.DeadlineExceeded {
 			status = StatusExpired
@@ -120,7 +146,9 @@ func (t *tenant) serve(j *job) {
 
 	before := FromRTStats(t.prog.Stats())
 	start := time.Now()
+	t.inFlight.Store(true)
 	err := t.prog.Run(j.spec.NewTask(j.size))
+	t.inFlight.Store(false)
 	runDur := time.Since(start)
 	status := StatusOK
 	if err != nil {
@@ -143,8 +171,10 @@ func (t *tenant) serve(j *job) {
 	close(j.done)
 }
 
-// observeRun folds one run duration into the EWMA (α = 1/4).
+// observeRun folds one run duration into the tenant EWMA (α = 1/4) and
+// the server-wide fallback EWMA that costs history-less tenants.
 func (t *tenant) observeRun(d time.Duration) {
+	t.srv.adm.observeCost(d)
 	prev := t.runEWMANanos.Load()
 	if prev == 0 {
 		t.runEWMANanos.Store(int64(d))
@@ -153,16 +183,13 @@ func (t *tenant) observeRun(d time.Duration) {
 	t.runEWMANanos.Store(prev + (int64(d)-prev)/4)
 }
 
-// retryAfter estimates how long until the tenant's full queue has room:
-// roughly half a queue's worth of average runs, at least one second (the
-// Retry-After header has one-second resolution).
+// queueLen reports the tenant's current admission backlog.
+func (t *tenant) queueLen() int { return t.srv.adm.lenOf(t.flow) }
+
+// retryAfter is the tenant's current Retry-After hint at its current
+// backlog.
 func (t *tenant) retryAfter() time.Duration {
-	ewma := time.Duration(t.runEWMANanos.Load())
-	est := time.Duration(len(t.queue)/2+1) * ewma
-	if est < time.Second {
-		return time.Second
-	}
-	return time.Duration(math.Ceil(est.Seconds())) * time.Second
+	return retryAfterHint(time.Duration(t.runEWMANanos.Load()), t.queueLen())
 }
 
 // info snapshots the tenant for GET /v1/tenants.
@@ -183,9 +210,11 @@ func (t *tenant) info() TenantInfo {
 	weight, slo := t.prog.QoS()
 	return TenantInfo{
 		Name:          t.name,
-		QueueDepth:    len(t.queue),
-		QueueCap:      cap(t.queue),
+		QueueDepth:    t.queueLen(),
+		QueueCap:      t.depth,
 		JobsServed:    t.jobsServed.Load(),
+		Shed:          t.shed.Load(),
+		EarlyRejected: t.earlyRejected.Load(),
 		CoresHeld:     held,
 		Weight:        weight,
 		SLOMs:         int64(slo / time.Millisecond),

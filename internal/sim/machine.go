@@ -12,6 +12,7 @@ import (
 	"dws/internal/coretable"
 	"dws/internal/deque"
 	"dws/internal/task"
+	"dws/internal/wfq"
 )
 
 // recheckUS bounds how long a spinning thief goes without rescanning its
@@ -41,6 +42,18 @@ type Machine struct {
 	jobMode         bool
 	jobsOutstanding int
 	jobLog          []JobOutcome
+
+	// WFQ admission analog (OpenOpts.Admission): when adm is non-nil, job
+	// backlog lives in one weighted fair queue across programs instead of
+	// the per-program pending FIFOs, with the server's shed and
+	// early-rejection rules on the virtual clock.
+	adm     *wfq.Queue[*openJob]
+	admOpts *AdmissionOpts
+	// svcFallbackUS is the machine-wide run-time EWMA (α = 1/4) charged
+	// to programs with no service history of their own — the sim analog
+	// of the server admission's fallbackNanos, so a cold program at a
+	// saturated global cap is not priced at wfq.DefaultCost and starved.
+	svcFallbackUS int64
 
 	// Trace, when non-nil, receives a line for every notable scheduling
 	// event (sleeps, wakes, claims, reclaims, evictions, coordinator

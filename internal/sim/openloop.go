@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"dws/internal/task"
+	"dws/internal/wfq"
 )
 
 // Job is one open-loop work item for a program.
@@ -41,8 +42,17 @@ const (
 	JobLate
 	// JobExpired: deadline passed while queued; never started.
 	JobExpired
-	// JobRejected: the pending queue was full at arrival.
+	// JobRejected: the pending queue was full at arrival (or, under WFQ
+	// admission, the global cap was hit with the arrival itself the
+	// worst-placed work).
 	JobRejected
+	// JobShed: removed from the WFQ backlog under global overload to
+	// admit better-placed work; never started (server's "shed" 429).
+	JobShed
+	// JobEarlyReject: rejected at arrival because the predicted queue
+	// wait (service EWMA × backlog ahead) already exceeded the deadline
+	// (server's "early_reject" 429).
+	JobEarlyReject
 )
 
 // String names the status as the scenario reports do.
@@ -56,6 +66,10 @@ func (s JobStatus) String() string {
 		return "expired"
 	case JobRejected:
 		return "rejected"
+	case JobShed:
+		return "shed"
+	case JobEarlyReject:
+		return "early_reject"
 	default:
 		return fmt.Sprintf("JobStatus(%d)", int(s))
 	}
@@ -104,6 +118,31 @@ type OpenOpts struct {
 	// SampleUS, when positive, records core-occupancy samples as in
 	// RunOpts.
 	SampleUS int64
+	// Admission, when non-nil, replaces the independent per-program
+	// bounded FIFOs with the WFQ admission analog mirroring
+	// internal/server: weighted fair queueing across programs,
+	// shed-from-max-tail under a global backlog cap, and deadline-aware
+	// early rejection. nil preserves the legacy admission path exactly —
+	// an Admission of all-equal weights, no global cap, and no early
+	// rejection produces bit-identical outcomes to nil (the degeneracy
+	// the tests pin).
+	Admission *AdmissionOpts
+}
+
+// AdmissionOpts configures the WFQ front-door analog.
+type AdmissionOpts struct {
+	// Weights[i] is program i's WFQ weight (values ≤ 0 clamp to 1); nil
+	// means all 1.
+	Weights []float64
+	// GlobalCap caps the total backlog across programs; at the cap an
+	// arrival displaces the worst-placed queued tail in virtual time if
+	// there is one, and is rejected otherwise. ≤0 means no global cap.
+	GlobalCap int
+	// EarlyReject enables deadline-aware early rejection: a job whose
+	// predicted queue wait (service EWMA × jobs ahead, including the one
+	// running) strictly exceeds its deadline resolves JobEarlyReject at
+	// arrival.
+	EarlyReject bool
 }
 
 // RunOpen replays the job streams and returns results with the Jobs
@@ -150,6 +189,22 @@ func (m *Machine) RunOpen(opts OpenOpts) (*Results, error) {
 		return nil, fmt.Errorf("%w: no jobs", ErrBadConfig)
 	}
 
+	if opts.Admission != nil {
+		if opts.Admission.Weights != nil && len(opts.Admission.Weights) != len(m.progs) {
+			return nil, fmt.Errorf("%w: %d admission weights for %d programs",
+				ErrBadConfig, len(opts.Admission.Weights), len(m.progs))
+		}
+		m.admOpts = opts.Admission
+		m.adm = wfq.New[*openJob]()
+		for i := range m.progs {
+			w := 1.0
+			if opts.Admission.Weights != nil {
+				w = opts.Admission.Weights[i]
+			}
+			m.adm.AddFlow(i, w)
+		}
+	}
+
 	m.jobMode = true
 	m.jobsOutstanding = total
 	for i, p := range m.progs {
@@ -189,18 +244,84 @@ func (m *Machine) RunOpen(opts OpenOpts) (*Results, error) {
 }
 
 // jobArrive admits one job: start it if the program is idle, queue it if
-// there is room, reject it otherwise.
+// there is room, reject it otherwise. Under WFQ admission the queue-room
+// decision additionally applies early rejection and the global-cap shed
+// policy, exactly as the server's admission layer does.
 func (m *Machine) jobArrive(p *Program, j *openJob, queueCap int) {
 	if p.curJob == nil && !p.runActive {
 		m.startJob(p, j, p.workers[p.home[0]])
 		return
 	}
-	if len(p.pending) >= queueCap {
+	if m.adm == nil {
+		if len(p.pending) >= queueCap {
+			m.trace("p%d job %d rejected (queue full)", p.id, j.idx)
+			m.jobDone(p, j, JobRejected)
+			return
+		}
+		p.pending = append(p.pending, j)
+		return
+	}
+
+	ewma := p.svcEWMAUS
+	backlog := m.adm.Len(p.idx)
+	if m.admOpts.EarlyReject && ewma > 0 && j.DeadlineUS > 0 {
+		// The program is busy (the idle case started above), so the jobs
+		// ahead are the backlog plus the one in service.
+		if predicted := int64(backlog+1) * ewma; predicted > j.DeadlineUS {
+			m.trace("p%d job %d early-rejected (predicted %dµs > deadline %dµs)",
+				p.id, j.idx, predicted, j.DeadlineUS)
+			m.jobDone(p, j, JobEarlyReject)
+			return
+		}
+	}
+	if backlog >= queueCap {
 		m.trace("p%d job %d rejected (queue full)", p.id, j.idx)
 		m.jobDone(p, j, JobRejected)
 		return
 	}
-	p.pending = append(p.pending, j)
+	cost := float64(ewma)
+	if ewma == 0 {
+		// No history yet: charge the machine-wide average run time (0 on a
+		// fully cold machine, which wfq maps to DefaultCost).
+		cost = float64(m.svcFallbackUS)
+	}
+	if m.admOpts.GlobalCap > 0 && m.adm.Total() >= m.admOpts.GlobalCap {
+		fNew := m.adm.TagPreview(p.idx, cost)
+		_, fMax, ok := m.adm.PeekMaxTail()
+		if !ok || fMax <= fNew {
+			m.trace("p%d job %d rejected (global cap, worst placed)", p.id, j.idx)
+			m.jobDone(p, j, JobRejected)
+			return
+		}
+		vid, victim, _ := m.adm.ShedMaxTail()
+		m.trace("p%d job %d shed for p%d job %d (global cap)",
+			m.progs[vid].id, victim.idx, p.id, j.idx)
+		m.jobDone(m.progs[vid], victim, JobShed)
+	}
+	m.adm.Enqueue(p.idx, j, cost)
+}
+
+// pendingLen reports program p's admitted backlog under either admission
+// substrate.
+func (m *Machine) pendingLen(p *Program) int {
+	if m.adm != nil {
+		return m.adm.Len(p.idx)
+	}
+	return len(p.pending)
+}
+
+// popPending dequeues program p's next admitted job (FIFO under both
+// substrates — WFQ never reorders one flow's jobs).
+func (m *Machine) popPending(p *Program) (*openJob, bool) {
+	if m.adm != nil {
+		return m.adm.Pop(p.idx)
+	}
+	if len(p.pending) == 0 {
+		return nil, false
+	}
+	j := p.pending[0]
+	p.pending = p.pending[1:]
+	return j, true
 }
 
 // startJob begins executing j (skipping over queued jobs whose deadline
@@ -212,13 +333,12 @@ func (m *Machine) startJob(p *Program, j *openJob, w *Worker) {
 	for j.DeadlineUS > 0 && m.now > j.AtUS+j.DeadlineUS {
 		m.trace("p%d job %d expired after %dµs queued", p.id, j.idx, m.now-j.AtUS)
 		m.jobDone(p, j, JobExpired)
-		if m.stopped || len(p.pending) == 0 {
+		if m.stopped || m.pendingLen(p) == 0 {
 			p.curJob = nil
 			p.runActive = false
 			return
 		}
-		j = p.pending[0]
-		p.pending = p.pending[1:]
+		j, _ = m.popPending(p)
 	}
 	p.curJob = j
 	j.startUS = m.now
@@ -240,16 +360,29 @@ func (m *Machine) jobFinished(p *Program, w *Worker) {
 	j := p.curJob
 	p.curJob = nil
 	p.runActive = false
+	// Fold the run into the service EWMA (α = 1/4, the server's
+	// observeRun on the virtual clock). Legacy admission never reads it.
+	if d := m.now - j.startUS; d >= 0 {
+		if p.svcEWMAUS == 0 {
+			p.svcEWMAUS = d
+		} else {
+			p.svcEWMAUS += (d - p.svcEWMAUS) / 4
+		}
+		if m.svcFallbackUS == 0 {
+			m.svcFallbackUS = d
+		} else {
+			m.svcFallbackUS += (d - m.svcFallbackUS) / 4
+		}
+	}
 	st := JobOK
 	if j.DeadlineUS > 0 && m.now > j.AtUS+j.DeadlineUS {
 		st = JobLate
 	}
 	m.jobDone(p, j, st)
-	if m.stopped || len(p.pending) == 0 {
+	if m.stopped || m.pendingLen(p) == 0 {
 		return
 	}
-	next := p.pending[0]
-	p.pending = p.pending[1:]
+	next, _ := m.popPending(p)
 	m.startJob(p, next, w)
 }
 

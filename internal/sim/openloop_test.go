@@ -242,7 +242,8 @@ func TestGOPolicyClosedLoop(t *testing.T) {
 func TestJobStatusStrings(t *testing.T) {
 	want := map[JobStatus]string{
 		JobOK: "ok", JobLate: "late", JobExpired: "expired",
-		JobRejected: "rejected", JobStatus(9): "JobStatus(9)",
+		JobRejected: "rejected", JobShed: "shed",
+		JobEarlyReject: "early_reject", JobStatus(9): "JobStatus(9)",
 	}
 	for s, w := range want {
 		if got := s.String(); got != w {

@@ -47,9 +47,16 @@ type Program struct {
 	central []*simTask
 
 	// Open-loop job state (Machine.RunOpen): the job currently executing
-	// and the bounded FIFO of admitted-but-not-started jobs.
+	// and the bounded FIFO of admitted-but-not-started jobs. With WFQ
+	// admission (OpenOpts.Admission) the backlog lives in Machine.adm
+	// instead of pending.
 	curJob  *openJob
 	pending []*openJob
+
+	// svcEWMAUS is the EWMA of job run times in µs (α = 1/4) — the WFQ
+	// service cost and early-rejection wait predictor, mirroring the
+	// server tenant's runEWMANanos on the virtual clock.
+	svcEWMAUS int64
 
 	stats ProgStats
 }

@@ -1,0 +1,286 @@
+// Package wfq implements virtual-time weighted fair queueing over a set
+// of per-flow FIFO queues — the admission discipline shared by the dwsd
+// job server (internal/server) and its simulation analog (sim.RunOpen),
+// so the two substrates shed and dispatch backlog by identical rules.
+//
+// The model is classic WFQ (packet-by-packet generalized processor
+// sharing): the queue keeps a virtual clock V; an item enqueued on flow f
+// with service cost c is tagged
+//
+//	start  S = max(V, lastFinish(f))
+//	finish F = S + c/weight(f)
+//
+// and lastFinish(f) advances to F. Dequeuing in ascending finish-tag
+// order (PopMin) serves flows proportionally to their weights whenever
+// they are continuously backlogged, within one item's worth of service —
+// the standard WFQ fairness bound. Per-flow order is strictly FIFO: tags
+// within a flow are monotone by construction, so fairness never reorders
+// one tenant's own jobs.
+//
+// Two departures from the textbook structure serve the admission use
+// case:
+//
+//   - Pop(flow) dequeues a specific flow's head. The live server runs one
+//     executor per tenant (jobs of different tenants execute
+//     concurrently on their own programs), so global dispatch order is
+//     not serialized; the virtual tags still define the shed order and
+//     the "backlog ahead in virtual time" used for early rejection.
+//   - ShedMaxTail removes the globally *last* backlog item in virtual
+//     time — the tail of the flow whose backlog extends furthest beyond
+//     its fair share. Under overload this sheds the lowest-weight (most
+//     over-share) tenant's newest work first, which is exactly the
+//     "shed-from-bronze before reject-gold" policy.
+//
+// The virtual clock advances on Pop/PopMin (V = max(V, S of the served
+// item)) and renormalizes to zero whenever the queue drains empty, so V
+// cannot accumulate float error across a long-lived server's quiet
+// periods.
+//
+// A Queue is not safe for concurrent use; callers hold their own lock
+// (the server's admission mutex, or the simulator's single thread).
+package wfq
+
+import "fmt"
+
+// DefaultCost is the service cost assumed for an enqueue with a
+// non-positive cost — a flow with no run-time history yet (EWMA = 0)
+// still needs a finite tag. The unit is whatever the caller's costs are
+// in; only ratios between costs and weights matter.
+const DefaultCost = 1.0
+
+type item[T any] struct {
+	payload T
+	start   float64
+	finish  float64
+	seq     uint64 // per-flow FIFO sequence, for invariant checking
+}
+
+type flow[T any] struct {
+	weight     float64
+	lastFinish float64 // finish tag of the newest enqueued item (tail frontier)
+	items      []item[T]
+	nextSeq    uint64
+}
+
+// Queue is a weighted-fair multi-queue over integer flow IDs.
+type Queue[T any] struct {
+	v     float64
+	flows map[int]*flow[T]
+	total int
+}
+
+// New returns an empty queue with no flows.
+func New[T any]() *Queue[T] {
+	return &Queue[T]{flows: make(map[int]*flow[T])}
+}
+
+// AddFlow registers a flow. A non-positive weight is clamped to 1.
+// Re-adding an existing flow panics — flow lifecycles are the caller's
+// bookkeeping, and silently resetting tags would corrupt fairness.
+func (q *Queue[T]) AddFlow(id int, weight float64) {
+	if _, ok := q.flows[id]; ok {
+		panic(fmt.Sprintf("wfq: flow %d already exists", id))
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	q.flows[id] = &flow[T]{weight: weight}
+}
+
+// RemoveFlow drops a flow and its backlog, returning the dropped
+// payloads in FIFO order.
+func (q *Queue[T]) RemoveFlow(id int) []T {
+	f, ok := q.flows[id]
+	if !ok {
+		return nil
+	}
+	delete(q.flows, id)
+	q.total -= len(f.items)
+	var out []T
+	for _, it := range f.items {
+		out = append(out, it.payload)
+	}
+	q.maybeRenormalize()
+	return out
+}
+
+// SetWeight changes a flow's weight. Items already enqueued keep their
+// tags — the change applies from the next enqueue on, so a mid-backlog
+// weight bump cannot retroactively jump the queue (or strand already
+// tagged work).
+func (q *Queue[T]) SetWeight(id int, weight float64) {
+	f, ok := q.flows[id]
+	if !ok {
+		return
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	f.weight = weight
+}
+
+// Weight reports a flow's current weight (0 for unknown flows).
+func (q *Queue[T]) Weight(id int) float64 {
+	if f, ok := q.flows[id]; ok {
+		return f.weight
+	}
+	return 0
+}
+
+// Enqueue appends payload to flow id with the given service cost
+// (non-positive costs fall back to DefaultCost) and returns its
+// start/finish tags. Enqueuing on an unregistered flow panics.
+func (q *Queue[T]) Enqueue(id int, payload T, cost float64) (start, finish float64) {
+	f, ok := q.flows[id]
+	if !ok {
+		panic(fmt.Sprintf("wfq: enqueue on unknown flow %d", id))
+	}
+	if cost <= 0 {
+		cost = DefaultCost
+	}
+	start = f.lastFinish
+	if q.v > start {
+		start = q.v
+	}
+	finish = start + cost/f.weight
+	f.items = append(f.items, item[T]{payload: payload, start: start, finish: finish, seq: f.nextSeq})
+	f.nextSeq++
+	f.lastFinish = finish
+	q.total++
+	return start, finish
+}
+
+// TagPreview returns the finish tag an Enqueue(id, _, cost) would assign
+// right now, without enqueuing — the shed policy compares an arriving
+// job's would-be tag against the current maximum tail.
+func (q *Queue[T]) TagPreview(id int, cost float64) float64 {
+	f, ok := q.flows[id]
+	if !ok {
+		return 0
+	}
+	if cost <= 0 {
+		cost = DefaultCost
+	}
+	start := f.lastFinish
+	if q.v > start {
+		start = q.v
+	}
+	return start + cost/f.weight
+}
+
+// Pop dequeues flow id's head (FIFO). The virtual clock advances to the
+// served item's start tag.
+func (q *Queue[T]) Pop(id int) (T, bool) {
+	var zero T
+	f, ok := q.flows[id]
+	if !ok || len(f.items) == 0 {
+		return zero, false
+	}
+	it := f.items[0]
+	f.items[0] = item[T]{} // drop the payload reference
+	f.items = f.items[1:]
+	q.total--
+	if it.start > q.v {
+		q.v = it.start
+	}
+	q.maybeRenormalize()
+	return it.payload, true
+}
+
+// PopMin dequeues the head with the globally minimum finish tag (ties
+// break toward the lower flow ID, deterministically). This is the
+// single-server WFQ service order; the property tests and the simulator's
+// drain model use it.
+func (q *Queue[T]) PopMin() (id int, payload T, ok bool) {
+	var zero T
+	best := -1
+	var bestF float64
+	for fid, f := range q.flows {
+		if len(f.items) == 0 {
+			continue
+		}
+		h := f.items[0].finish
+		if best == -1 || h < bestF || (h == bestF && fid < best) {
+			best, bestF = fid, h
+		}
+	}
+	if best == -1 {
+		return 0, zero, false
+	}
+	p, _ := q.Pop(best)
+	return best, p, true
+}
+
+// PeekMaxTail reports the flow whose newest queued item has the globally
+// maximum finish tag — the backlog item furthest in virtual time, the
+// shed victim under overload. Ties break toward the higher flow ID so
+// PeekMaxTail and PopMin never disagree on a two-item tie.
+func (q *Queue[T]) PeekMaxTail() (id int, finish float64, ok bool) {
+	best := -1
+	var bestF float64
+	for fid, f := range q.flows {
+		if len(f.items) == 0 {
+			continue
+		}
+		t := f.items[len(f.items)-1].finish
+		if best == -1 || t > bestF || (t == bestF && fid > best) {
+			best, bestF = fid, t
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return best, bestF, true
+}
+
+// ShedMaxTail removes and returns the item PeekMaxTail points at. The
+// victim flow's tail frontier rolls back to the removed item's start tag
+// (= the previous tail's finish), so subsequent enqueues re-tag exactly
+// as if the shed item had never existed.
+func (q *Queue[T]) ShedMaxTail() (id int, payload T, ok bool) {
+	var zero T
+	id, _, ok = q.PeekMaxTail()
+	if !ok {
+		return 0, zero, false
+	}
+	f := q.flows[id]
+	n := len(f.items)
+	it := f.items[n-1]
+	f.items[n-1] = item[T]{}
+	f.items = f.items[:n-1]
+	f.lastFinish = it.start
+	f.nextSeq = it.seq // the freed sequence number is reused by the next enqueue
+	q.total--
+	q.maybeRenormalize()
+	return id, it.payload, true
+}
+
+// Len reports flow id's backlog length.
+func (q *Queue[T]) Len(id int) int {
+	if f, ok := q.flows[id]; ok {
+		return len(f.items)
+	}
+	return 0
+}
+
+// Total reports the backlog length across all flows.
+func (q *Queue[T]) Total() int { return q.total }
+
+// VirtualTime exposes the current virtual clock (diagnostics and tests).
+func (q *Queue[T]) VirtualTime() float64 { return q.v }
+
+// maybeRenormalize resets the virtual clock and every tail frontier to
+// zero once the queue is completely empty. Tags only ever matter
+// relative to each other within one busy period, and resetting between
+// busy periods keeps V from growing without bound in a long-lived
+// server.
+func (q *Queue[T]) maybeRenormalize() {
+	if q.total != 0 {
+		return
+	}
+	q.v = 0
+	for _, f := range q.flows {
+		f.lastFinish = 0
+		f.nextSeq = 0
+	}
+}

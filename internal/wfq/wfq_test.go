@@ -1,0 +1,565 @@
+package wfq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestTagArithmetic pins the virtual-time bookkeeping table-style: the
+// start tag is max(V, flow frontier), the finish tag adds cost/weight,
+// zero costs fall back to DefaultCost (the EWMA=0 edge), a weight change
+// applies only from the next enqueue on, and draining empty renormalizes
+// the clock.
+func TestTagArithmetic(t *testing.T) {
+	t.Run("basic tags and frontier", func(t *testing.T) {
+		q := New[int]()
+		q.AddFlow(1, 2) // weight 2
+		q.AddFlow(2, 1)
+
+		s, f := q.Enqueue(1, 10, 4)
+		if s != 0 || f != 2 { // 0 + 4/2
+			t.Fatalf("flow1 first tags = (%g,%g), want (0,2)", s, f)
+		}
+		s, f = q.Enqueue(1, 11, 4)
+		if s != 2 || f != 4 { // frontier chains
+			t.Fatalf("flow1 second tags = (%g,%g), want (2,4)", s, f)
+		}
+		s, f = q.Enqueue(2, 20, 3)
+		if s != 0 || f != 3 { // independent frontier, weight 1
+			t.Fatalf("flow2 tags = (%g,%g), want (0,3)", s, f)
+		}
+	})
+
+	t.Run("zero cost falls back to DefaultCost", func(t *testing.T) {
+		q := New[int]()
+		q.AddFlow(1, 1)
+		if _, f := q.Enqueue(1, 0, 0); f != DefaultCost {
+			t.Fatalf("zero-cost finish = %g, want DefaultCost %g", f, DefaultCost)
+		}
+		if _, f := q.Enqueue(1, 1, -5); f != 2*DefaultCost {
+			t.Fatalf("negative-cost finish = %g, want %g", f, 2*DefaultCost)
+		}
+		if got := q.TagPreview(1, 0); got != 3*DefaultCost {
+			t.Fatalf("zero-cost preview = %g, want %g", got, 3*DefaultCost)
+		}
+	})
+
+	t.Run("weight change applies mid-backlog only to new enqueues", func(t *testing.T) {
+		q := New[int]()
+		q.AddFlow(1, 1)
+		_, f1 := q.Enqueue(1, 0, 2) // F = 2
+		q.SetWeight(1, 4)
+		_, f2 := q.Enqueue(1, 1, 2) // F = 2 + 2/4 = 2.5
+		if f1 != 2 || f2 != 2.5 {
+			t.Fatalf("tags across weight change = (%g,%g), want (2,2.5)", f1, f2)
+		}
+		// The already queued item keeps its tag: PopMin order is unchanged.
+		if _, p, _ := q.PopMin(); p != 0 {
+			t.Fatalf("PopMin popped %d, want the first-enqueued item", p)
+		}
+	})
+
+	t.Run("virtual clock advances on pop and renormalizes when empty", func(t *testing.T) {
+		q := New[int]()
+		q.AddFlow(1, 1)
+		q.AddFlow(2, 1)
+		q.Enqueue(1, 0, 5) // S=0 F=5
+		q.Enqueue(1, 1, 5) // S=5 F=10
+		q.Pop(1)           // V = max(0, S=0) = 0
+		q.Pop(1)           // V = 5
+		if q.VirtualTime() != 0 {
+			// both pops drained the queue: renormalized
+			t.Fatalf("V after drain = %g, want 0 (renormalized)", q.VirtualTime())
+		}
+		// Refill after renormalize: tags restart from zero, not from the
+		// old frontier.
+		if s, f := q.Enqueue(1, 2, 3); s != 0 || f != 3 {
+			t.Fatalf("post-renormalize tags = (%g,%g), want (0,3)", s, f)
+		}
+		q.Enqueue(2, 3, 1) // F=1: flow2 wins despite arriving later
+		if id, _, _ := q.PopMin(); id != 2 {
+			t.Fatalf("PopMin picked flow %d, want 2 (smaller finish)", id)
+		}
+		if q.VirtualTime() != 0 {
+			t.Fatalf("V = %g, want 0 (served item started at 0)", q.VirtualTime())
+		}
+		// A late arrival on an idle flow starts at V, not at its stale
+		// frontier.
+		q.Pop(1)           // drain flow1's item (S=0,F=3): V=0 → renormalize
+		q.Enqueue(1, 4, 2) // S=0
+		q.Enqueue(1, 5, 2) // S=2
+		q.Pop(1)           // V=0
+		q.Pop(1)           // V=2 → empty → renormalize to 0
+		if v := q.VirtualTime(); v != 0 {
+			t.Fatalf("V = %g, want renormalized 0", v)
+		}
+	})
+
+	t.Run("TagPreview matches the Enqueue that follows", func(t *testing.T) {
+		q := New[int]()
+		q.AddFlow(7, 3)
+		q.Enqueue(7, 0, 9)
+		want := q.TagPreview(7, 6)
+		if _, f := q.Enqueue(7, 1, 6); f != want {
+			t.Fatalf("preview %g != enqueue finish %g", want, f)
+		}
+	})
+
+	t.Run("shed rolls the frontier back", func(t *testing.T) {
+		q := New[int]()
+		q.AddFlow(1, 1)
+		q.Enqueue(1, 0, 2) // F=2
+		q.Enqueue(1, 1, 2) // S=2 F=4
+		id, p, ok := q.ShedMaxTail()
+		if !ok || id != 1 || p != 1 {
+			t.Fatalf("ShedMaxTail = (%d,%d,%v), want the tail item (1,1,true)", id, p, ok)
+		}
+		// Re-enqueue tags exactly as if the shed item never existed.
+		if s, f := q.Enqueue(1, 2, 2); s != 2 || f != 4 {
+			t.Fatalf("post-shed tags = (%g,%g), want (2,4)", s, f)
+		}
+	})
+
+	t.Run("shed picks the most over-share flow", func(t *testing.T) {
+		q := New[int]()
+		q.AddFlow(1, 2) // gold, weight 2
+		q.AddFlow(2, 1) // bronze
+		for i := 0; i < 3; i++ {
+			q.Enqueue(1, 100+i, 1) // finishes 0.5, 1.0, 1.5
+			q.Enqueue(2, 200+i, 1) // finishes 1, 2, 3
+		}
+		id, p, _ := q.ShedMaxTail()
+		if id != 2 || p != 202 {
+			t.Fatalf("shed (%d,%d), want bronze's newest (2,202)", id, p)
+		}
+	})
+
+	t.Run("RemoveFlow returns the backlog FIFO", func(t *testing.T) {
+		q := New[int]()
+		q.AddFlow(1, 1)
+		q.Enqueue(1, 5, 1)
+		q.Enqueue(1, 6, 1)
+		got := q.RemoveFlow(1)
+		if len(got) != 2 || got[0] != 5 || got[1] != 6 {
+			t.Fatalf("RemoveFlow = %v, want [5 6]", got)
+		}
+		if q.Total() != 0 || q.Len(1) != 0 {
+			t.Fatalf("stale backlog after RemoveFlow: total=%d", q.Total())
+		}
+	})
+}
+
+// TestWeightProportionalService drains continuously backlogged flows in
+// PopMin order and asserts each flow's service count tracks its weight
+// share within one quantum over *every* window — both all prefixes and
+// all sliding windows of several sizes.
+func TestWeightProportionalService(t *testing.T) {
+	weights := map[int]float64{0: 2, 1: 1, 2: 1}
+	q := New[int]()
+	for id, w := range weights {
+		q.AddFlow(id, w)
+		q.Enqueue(id, id, 1)
+		q.Enqueue(id, id, 1) // keep ≥2 queued so the flow is never empty
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+
+	const rounds = 400
+	served := make([]int, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		id, _, ok := q.PopMin()
+		if !ok {
+			t.Fatal("queue drained unexpectedly")
+		}
+		served = append(served, id)
+		q.Enqueue(id, id, 1) // refill: continuous backlog
+	}
+
+	check := func(lo, hi int) {
+		counts := map[int]int{}
+		for _, id := range served[lo:hi] {
+			counts[id]++
+		}
+		w := float64(hi - lo)
+		for id, wt := range weights {
+			share := w * wt / wsum
+			if d := math.Abs(float64(counts[id]) - share); d > 2 {
+				t.Fatalf("window [%d,%d): flow %d served %d, fair share %.1f (|Δ|=%.1f > 2)",
+					lo, hi, id, counts[id], share, d)
+			}
+		}
+	}
+	for hi := 4; hi <= rounds; hi += 4 { // prefixes
+		check(0, hi)
+	}
+	for _, w := range []int{8, 20, 100} { // sliding windows
+		for lo := 0; lo+w <= rounds; lo += 3 {
+			check(lo, lo+w)
+		}
+	}
+}
+
+// TestProportionalServiceRandomized is the randomized version: random
+// weights and per-item costs, continuous backlog, asserting the
+// normalized service (cost served / weight) stays within the WFQ
+// fairness bound across flows over every prefix.
+func TestProportionalServiceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		q := New[int]()
+		weights := make([]float64, n)
+		minW, maxC := math.Inf(1), 0.0
+		cost := func() float64 { return 0.5 + rng.Float64() }
+		for id := 0; id < n; id++ {
+			weights[id] = float64(1 + rng.Intn(4))
+			minW = math.Min(minW, weights[id])
+			q.AddFlow(id, weights[id])
+			for k := 0; k < 2; k++ {
+				c := cost()
+				maxC = math.Max(maxC, c)
+				q.Enqueue(id, id, c)
+			}
+		}
+		normServed := make([]float64, n)
+		costOf := map[int][]float64{} // queued costs per flow, FIFO
+		for id := 0; id < n; id++ {
+			costOf[id] = []float64{0, 0}
+		}
+		// Track enqueued costs so we can attribute served cost. Re-walk:
+		// simpler to re-enqueue with recorded costs.
+		q = New[int]()
+		for id := 0; id < n; id++ {
+			q.AddFlow(id, weights[id])
+			costOf[id] = nil
+			for k := 0; k < 2; k++ {
+				c := cost()
+				maxC = math.Max(maxC, c)
+				q.Enqueue(id, id, c)
+				costOf[id] = append(costOf[id], c)
+			}
+		}
+		bound := 2 * maxC / minW
+		for i := 0; i < 300; i++ {
+			id, _, ok := q.PopMin()
+			if !ok {
+				t.Fatal("drained")
+			}
+			c := costOf[id][0]
+			costOf[id] = costOf[id][1:]
+			normServed[id] += c / weights[id]
+			nc := cost()
+			maxC = math.Max(maxC, nc)
+			q.Enqueue(id, id, nc)
+			costOf[id] = append(costOf[id], nc)
+
+			if i < 5 {
+				continue // let every flow get a first service
+			}
+			lo, hi := math.Inf(1), 0.0
+			for _, v := range normServed {
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			if hi-lo > bound+1e-9 {
+				t.Fatalf("trial %d pop %d: normalized service spread %.3f exceeds bound %.3f (served %v, weights %v)",
+					trial, i, hi-lo, bound, normServed, weights)
+			}
+		}
+	}
+}
+
+// TestPerFlowFIFOAndNoStarvation replays seeded random arrival sequences
+// against interleaved PopMin drains: per-flow dequeue order must be
+// strictly FIFO, no continuously backlogged flow may go unserved for
+// more than a weight-derived bound of consecutive services, and when
+// drain capacity exceeds arrivals every item is eventually dispatched
+// (conservation, nothing stranded).
+func TestPerFlowFIFOAndNoStarvation(t *testing.T) {
+	type tag struct{ flow, seq int }
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		q := New[tag]()
+		var wsum, wmin float64 = 0, math.Inf(1)
+		weights := make([]float64, n)
+		for id := 0; id < n; id++ {
+			weights[id] = float64(1 + rng.Intn(4))
+			wsum += weights[id]
+			wmin = math.Min(wmin, weights[id])
+			q.AddFlow(id, weights[id])
+		}
+		// Starvation bound: with identical costs, a backlogged flow of
+		// weight w is served at least once per ceil(wsum/wmin)+n
+		// consecutive services. (The true WFQ bound is tighter; this one
+		// is safe and still meaningful.)
+		starveBound := int(math.Ceil(wsum/wmin)) + n
+
+		nextSeq := make([]int, n)
+		lastPopped := make([]int, n)
+		sinceServed := make([]int, n)
+		enq, deq := 0, 0
+		for id := range lastPopped {
+			lastPopped[id] = -1
+		}
+		for step := 0; step < 4000; step++ {
+			// Arrivals at ~80% of drain rate, so backlog stays bounded and
+			// everything eventually dispatches.
+			if rng.Float64() < 0.45 {
+				id := rng.Intn(n)
+				q.Enqueue(id, tag{id, nextSeq[id]}, 1)
+				nextSeq[id]++
+				enq++
+			} else {
+				id, it, ok := q.PopMin()
+				if !ok {
+					continue
+				}
+				deq++
+				if it.flow != id {
+					t.Fatalf("seed %d: PopMin flow mismatch: %d vs payload %d", seed, id, it.flow)
+				}
+				if it.seq != lastPopped[id]+1 {
+					t.Fatalf("seed %d: flow %d FIFO violated: popped seq %d after %d",
+						seed, id, it.seq, lastPopped[id])
+				}
+				lastPopped[id] = it.seq
+				for other := 0; other < n; other++ {
+					if other == id {
+						sinceServed[other] = 0
+						continue
+					}
+					if q.Len(other) > 0 {
+						sinceServed[other]++
+						if sinceServed[other] > starveBound {
+							t.Fatalf("seed %d: flow %d starved for %d consecutive services (bound %d)",
+								seed, other, sinceServed[other], starveBound)
+						}
+					} else {
+						sinceServed[other] = 0
+					}
+				}
+			}
+		}
+		// Final drain: every admitted item must come out, in FIFO order.
+		for {
+			id, it, ok := q.PopMin()
+			if !ok {
+				break
+			}
+			deq++
+			if it.seq != lastPopped[id]+1 {
+				t.Fatalf("seed %d: drain FIFO violated on flow %d", seed, id)
+			}
+			lastPopped[id] = it.seq
+		}
+		if enq != deq {
+			t.Fatalf("seed %d: conservation violated: %d enqueued, %d dequeued", seed, enq, deq)
+		}
+		if q.Total() != 0 {
+			t.Fatalf("seed %d: %d items stranded", seed, q.Total())
+		}
+	}
+}
+
+// TestPerTenantPopMatchesFIFO drives the live server's dispatch shape —
+// Pop(flow) per tenant rather than global PopMin — and asserts FIFO per
+// flow plus virtual-clock monotonicity within a busy period.
+func TestPerTenantPopMatchesFIFO(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	q := New[int]()
+	const n = 3
+	next := make([]int, n)
+	want := make([][]int, n)
+	for id := 0; id < n; id++ {
+		q.AddFlow(id, float64(1+id))
+	}
+	for step := 0; step < 500; step++ {
+		id := rng.Intn(n)
+		if rng.Float64() < 0.55 {
+			q.Enqueue(id, next[id], 0.5+rng.Float64())
+			want[id] = append(want[id], next[id])
+			next[id]++
+		} else if p, ok := q.Pop(id); ok {
+			if p != want[id][0] {
+				t.Fatalf("flow %d popped %d, want %d", id, p, want[id][0])
+			}
+			want[id] = want[id][1:]
+		}
+	}
+}
+
+// FuzzWFQOps drives a Queue and an independent naive model (plain slices,
+// same tag formulas, min/max by scan) through the same op stream and
+// compares tags, pop order, lengths, and the virtual clock after every
+// op. Bookkeeping bugs — a stale total, a frontier not rolled back on
+// shed, a renormalize that misses a flow — diverge immediately.
+func FuzzWFQOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 20, 2, 3, 0, 30})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 1, 1, 1, 1})
+	f.Add([]byte{0, 200, 4, 9, 0, 200, 3, 3, 3, 2, 0, 2, 1})
+	f.Add([]byte{5, 0, 5, 1, 0, 7, 2, 0, 9, 1, 5, 200, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nflows = 3
+		type mItem struct {
+			payload int
+			start   float64
+			finish  float64
+		}
+		type mFlow struct {
+			weight     float64
+			lastFinish float64
+			items      []mItem
+		}
+		q := New[int]()
+		model := make([]*mFlow, nflows)
+		for id := 0; id < nflows; id++ {
+			w := float64(id + 1)
+			q.AddFlow(id, w)
+			model[id] = &mFlow{weight: w}
+		}
+		mv := 0.0
+		mTotal := func() int {
+			n := 0
+			for _, fl := range model {
+				n += len(fl.items)
+			}
+			return n
+		}
+		mRenorm := func() {
+			if mTotal() != 0 {
+				return
+			}
+			mv = 0
+			for _, fl := range model {
+				fl.lastFinish = 0
+			}
+		}
+		next := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%6, data[i+1]
+			id := int(arg) % nflows
+			switch op {
+			case 0: // enqueue
+				cost := float64(arg%32) / 8 // includes 0 → DefaultCost
+				s, fin := q.Enqueue(id, next, cost)
+				c := cost
+				if c <= 0 {
+					c = DefaultCost
+				}
+				ws := model[id].lastFinish
+				if mv > ws {
+					ws = mv
+				}
+				wf := ws + c/model[id].weight
+				if s != ws || fin != wf {
+					t.Fatalf("op %d: Enqueue tags (%g,%g), model (%g,%g)", i, s, fin, ws, wf)
+				}
+				model[id].items = append(model[id].items, mItem{next, ws, wf})
+				model[id].lastFinish = wf
+				next++
+			case 1: // PopMin
+				gid, gp, gok := q.PopMin()
+				best, bestF := -1, 0.0
+				for fid, fl := range model {
+					if len(fl.items) == 0 {
+						continue
+					}
+					h := fl.items[0].finish
+					if best == -1 || h < bestF || (h == bestF && fid < best) {
+						best, bestF = fid, h
+					}
+				}
+				if gok != (best != -1) {
+					t.Fatalf("op %d: PopMin ok=%v, model %v", i, gok, best != -1)
+				}
+				if gok {
+					it := model[best].items[0]
+					model[best].items = model[best].items[1:]
+					if it.start > mv {
+						mv = it.start
+					}
+					mRenorm()
+					if gid != best || gp != it.payload {
+						t.Fatalf("op %d: PopMin (%d,%d), model (%d,%d)", i, gid, gp, best, it.payload)
+					}
+				}
+			case 2: // Pop(flow)
+				gp, gok := q.Pop(id)
+				if gok != (len(model[id].items) > 0) {
+					t.Fatalf("op %d: Pop(%d) ok=%v, model backlog %d", i, id, gok, len(model[id].items))
+				}
+				if gok {
+					it := model[id].items[0]
+					model[id].items = model[id].items[1:]
+					if it.start > mv {
+						mv = it.start
+					}
+					mRenorm()
+					if gp != it.payload {
+						t.Fatalf("op %d: Pop(%d) = %d, model %d", i, id, gp, it.payload)
+					}
+				}
+			case 3: // ShedMaxTail
+				gid, gp, gok := q.ShedMaxTail()
+				best, bestF := -1, 0.0
+				for fid, fl := range model {
+					if len(fl.items) == 0 {
+						continue
+					}
+					tl := fl.items[len(fl.items)-1].finish
+					if best == -1 || tl > bestF || (tl == bestF && fid > best) {
+						best, bestF = fid, tl
+					}
+				}
+				if gok != (best != -1) {
+					t.Fatalf("op %d: Shed ok=%v, model %v", i, gok, best != -1)
+				}
+				if gok {
+					n := len(model[best].items)
+					it := model[best].items[n-1]
+					model[best].items = model[best].items[:n-1]
+					model[best].lastFinish = it.start
+					mRenorm()
+					if gid != best || gp != it.payload {
+						t.Fatalf("op %d: Shed (%d,%d), model (%d,%d)", i, gid, gp, best, it.payload)
+					}
+				}
+			case 4: // SetWeight
+				w := float64(arg%8) - 1 // includes ≤0 → clamp to 1
+				q.SetWeight(id, w)
+				if w <= 0 {
+					w = 1
+				}
+				model[id].weight = w
+			case 5: // TagPreview (read-only cross-check)
+				cost := float64(arg%32) / 8
+				got := q.TagPreview(id, cost)
+				c := cost
+				if c <= 0 {
+					c = DefaultCost
+				}
+				ws := model[id].lastFinish
+				if mv > ws {
+					ws = mv
+				}
+				if want := ws + c/model[id].weight; got != want {
+					t.Fatalf("op %d: TagPreview %g, model %g", i, got, want)
+				}
+			}
+			if q.Total() != mTotal() {
+				t.Fatalf("op %d: Total %d, model %d", i, q.Total(), mTotal())
+			}
+			if q.VirtualTime() != mv {
+				t.Fatalf("op %d: V=%g, model %g", i, q.VirtualTime(), mv)
+			}
+			for fid := 0; fid < nflows; fid++ {
+				if q.Len(fid) != len(model[fid].items) {
+					t.Fatalf("op %d: Len(%d)=%d, model %d", i, fid, q.Len(fid), len(model[fid].items))
+				}
+			}
+		}
+	})
+}
