@@ -32,7 +32,23 @@ import (
 	"dws/internal/deque"
 	"dws/internal/rt"
 	"dws/internal/server"
+	"dws/internal/topo"
 )
+
+// topologyFromFlag resolves the -socket-size flag: 0 keeps the flat
+// (locality-free) map, a negative value auto-detects the host's sockets
+// from sysfs (degrading to flat when the tree is absent), and a positive
+// value models uniform sockets of that many cores.
+func topologyFromFlag(socketSize, cores int) *topo.Topology {
+	switch {
+	case socketSize == 0:
+		return nil
+	case socketSize < 0:
+		return topo.Detect(cores)
+	default:
+		return topo.Uniform(cores, socketSize)
+	}
+}
 
 // engineFromFlag resolves the -engine flag: an empty value falls back to
 // DWS_DEQUE_ENGINE and then Chase–Lev; unknown names are rejected before
@@ -62,6 +78,7 @@ func main() {
 		leaseTTL = flag.Duration("lease-ttl", 0, "core-table lease expiry for wedged-tenant eviction (0 = 10×period)")
 		arbiter  = flag.Duration("arbiter-period", 0, "QoS arbitration period, DWS only (0 = default 50ms; negative disables)")
 		engine   = flag.String("engine", "", "deque engine: chaselev|locked|relaxed (empty = $DWS_DEQUE_ENGINE, then chaselev)")
+		socket   = flag.Int("socket-size", 0, "cores per socket for locality-aware placement (0 = flat/off; negative = auto-detect from sysfs)")
 	)
 	flag.Parse()
 
@@ -82,6 +99,7 @@ func main() {
 		Cores:            *cores,
 		Policy:           pol,
 		Engine:           eng,
+		Topology:         topologyFromFlag(*socket, *cores),
 		MaxTenants:       *tenants,
 		QueueDepth:       *queue,
 		GlobalQueueDepth: *gqueue,
@@ -100,8 +118,12 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("dwsd: serving on %s (policy=%v engine=%v cores=%d tenants≤%d queue=%d)",
-		*addr, pol, eng, *cores, *tenants, *queue)
+	topoLabel := "flat"
+	if tp := topologyFromFlag(*socket, *cores); tp != nil && !tp.Flat() {
+		topoLabel = tp.String()
+	}
+	log.Printf("dwsd: serving on %s (policy=%v engine=%v cores=%d tenants≤%d queue=%d topo=%s)",
+		*addr, pol, eng, *cores, *tenants, *queue, topoLabel)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,64 @@
+package bench
+
+import "testing"
+
+// TestLocalityStudy pins the locality A/B's direction. The lever that
+// moves cross-socket steal traffic is *placement*: a task produced on
+// one socket and consumed on the other crosses the interconnect exactly
+// once no matter what order thieves scan victims in, so two-phase
+// victim selection alone cannot beat that conservation law — only
+// keeping a tenant's entitled block inside one socket removes the flux
+// at the source. The catalog's unweighted scenarios never engage
+// placement (the arbiter is inert without weights), so the hard
+// assertion rides on the socket-tear showcase, where the flat
+// prefix-sum provably straddles the weighted mid tenant across the
+// boundary and placement packs it. The catalog rows are still replayed
+// and logged — `go test -v -run TestLocalityStudy ./internal/bench`
+// regenerates the EXPERIMENTS.md table. Deterministic on the virtual
+// clock, so the assertions are on exact reproducible numbers, not
+// statistics.
+func TestLocalityStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("locality study skipped in -short mode")
+	}
+	rows, err := RunLocalityStudy(t.Logf)
+	if err != nil {
+		t.Fatalf("RunLocalityStudy: %v", err)
+	}
+	var onMakespan, offMakespan float64
+	var tear *LocalityRow
+	for i := range rows {
+		r := &rows[i]
+		onMakespan += r.On.MakespanMS
+		offMakespan += r.Off.MakespanMS
+		if r.Scenario == "socket-tear" {
+			tear = r
+		}
+		if r.On.LocalSteals+r.On.RemoteSteals == 0 {
+			t.Errorf("%s: no steals bucketed with locality on — is the machine flat?", r.Scenario)
+		}
+	}
+	t.Logf("\n%s", FormatLocality(rows))
+	t.Logf("aggregate makespan: off %.0f → on %.0f ms", offMakespan, onMakespan)
+	if tear == nil {
+		t.Fatal("socket-tear showcase missing from the study")
+	}
+	// Placement must at least halve the torn tenant's cross-socket share
+	// (measured runs show ~11×: 0.234 → 0.021; half is a loose floor, not
+	// the expectation).
+	if on, off := tear.On.RemoteStealShare(), tear.Off.RemoteStealShare(); on*2 >= off {
+		t.Errorf("placement did not halve socket-tear's remote-steal share: off %.3f, on %.3f", off, on)
+	}
+	// And it must not buy that with throughput or shed jobs.
+	if on, off := tear.On.MakespanMS, tear.Off.MakespanMS; on > off*1.02 {
+		t.Errorf("placement cost socket-tear makespan: off %.0f ms, on %.0f ms", off, on)
+	}
+	if on, off := tear.On.OKRate(), tear.Off.OKRate(); on < off {
+		t.Errorf("placement cost socket-tear ok-rate: off %.3f, on %.3f", off, on)
+	}
+	// Across the whole study (catalog + showcase), locality stays
+	// makespan-neutral: allow a 2% cushion for scheduling-order noise.
+	if onMakespan > offMakespan*1.02 {
+		t.Errorf("locality cost aggregate makespan: off %.0f ms, on %.0f ms", offMakespan, onMakespan)
+	}
+}

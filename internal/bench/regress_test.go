@@ -2,6 +2,7 @@ package bench
 
 import (
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -85,7 +86,7 @@ func TestBenchFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LoadBenchFile: %v", err)
 	}
-	if len(got.Entries) != len(base.Entries) || got.Entries[0] != base.Entries[0] {
+	if len(got.Entries) != len(base.Entries) || !reflect.DeepEqual(got.Entries[0], base.Entries[0]) {
 		t.Fatalf("round-trip mismatch: %+v", got)
 	}
 }

@@ -13,7 +13,13 @@ const (
 	ObsWake
 	// ObsClaim: the program claimed a free core in the allocation table.
 	ObsClaim
-	// ObsReclaim: the program reclaimed a home core from Victim.
+	// ObsReclaim: the program reclaimed a home core from Victim. Epoch is
+	// the entitlement epoch the reclaimer's home block derived from (0
+	// before any arbitration), so an observer that has not yet seen that
+	// batch's ObsEntitle rows can defer judging the reclaim instead of
+	// misjudging it against a stale vector — the arbiter publishes to the
+	// table before its decision rows reach the observer, so a coordinator
+	// acting on the fresh vector can legitimately emit first.
 	ObsReclaim
 	// ObsEvict: a worker observed that its core was reclaimed and stopped.
 	ObsEvict
@@ -87,7 +93,9 @@ type ObsEvent struct {
 	// Release distinguishes a voluntary sleep (true) from an eviction
 	// sleep on ObsSleep events.
 	Release bool `json:"release,omitempty"`
-	// Epoch is the lease generation on ObsJoin/ObsSweep.
+	// Epoch is the lease generation on ObsJoin/ObsSweep, the entitlement
+	// epoch on ObsEntitle, and the entitlement-epoch basis of the home
+	// block on ObsReclaim.
 	Epoch int64 `json:"epoch,omitempty"`
 
 	// Coordinator observation (ObsCoordTick): NB queued tasks, NA active
@@ -131,6 +139,11 @@ type ObsEvent struct {
 	Spawned  int64 `json:"spawned,omitempty"`
 	Executed int64 `json:"executed,omitempty"`
 	DupPops  int64 `json:"dup_pops,omitempty"`
+	// LocalSteals/RemoteSteals split the program's cumulative deque steals
+	// by whether thief and victim shared a socket (ObsRunDone). Under a
+	// flat topology RemoteSteals is always 0.
+	LocalSteals  int64 `json:"local_steals,omitempty"`
+	RemoteSteals int64 `json:"remote_steals,omitempty"`
 }
 
 // Observer receives every scheduling transition of a System's programs.

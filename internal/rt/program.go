@@ -22,7 +22,6 @@ type Program struct {
 	home []int
 
 	workers []*worker
-	victims [][]*worker
 
 	// inject receives root tasks from Run; workers drain it like a
 	// stealable deque.
@@ -72,7 +71,12 @@ func newProgram(s *System, name string, idx int) *Program {
 	for c := 0; c < s.cfg.Cores; c++ {
 		p.workers = append(p.workers, newWorker(p, c))
 	}
-	// Victim sets: all siblings (EP: home siblings only).
+	// Victim sets: all siblings (EP: home siblings only), partitioned by
+	// topology — same-socket victims first, then the remote ones grouped
+	// by ascending socket so a steal-back scan can jump straight to the
+	// robbing socket's segment (worker.stealOrder). Under a flat topology
+	// every victim is local and the layout is the old flat sibling list.
+	tp := s.cfg.Topology
 	pool := p.workers
 	if s.cfg.Policy == EP {
 		pool = nil
@@ -80,15 +84,34 @@ func newProgram(s *System, name string, idx int) *Program {
 			pool = append(pool, p.workers[c])
 		}
 	}
-	p.victims = make([][]*worker, s.cfg.Cores)
 	for _, w := range p.workers {
 		var vs []*worker
 		for _, v := range pool {
-			if v != w {
+			if v != w && v.socket == w.socket {
 				vs = append(vs, v)
 			}
 		}
-		p.victims[w.id] = vs
+		w.nLocal = len(vs)
+		w.sockOff = make([]int, tp.NumSockets())
+		for i := range w.sockOff {
+			w.sockOff[i] = -1
+		}
+		for sock := 0; sock < tp.NumSockets(); sock++ {
+			if sock == w.socket {
+				continue
+			}
+			start := len(vs)
+			for _, v := range pool {
+				if v != w && v.socket == sock {
+					vs = append(vs, v)
+				}
+			}
+			if len(vs) > start {
+				w.sockOff[sock] = start
+			}
+		}
+		w.victims = vs
+		w.scan = make([]*worker, len(vs))
 	}
 	return p
 }
@@ -184,7 +207,9 @@ func (p *Program) launch(w *worker, initial int32) {
 // otherwise.
 func (p *Program) takeHome() {
 	t := p.sys.table
-	for _, c := range p.homeCores() {
+	home := p.homeCores()
+	epoch := t.EntitlementEpoch()
+	for _, c := range home {
 		switch occ := t.Occupant(c); {
 		case occ == p.id:
 			// Already ours (restart).
@@ -196,7 +221,7 @@ func (p *Program) takeHome() {
 		default:
 			if t.Reclaim(c, p.id, occ) {
 				p.st.reclaims.Add(1)
-				p.emit(ObsEvent{Kind: ObsReclaim, Core: c, Victim: occ})
+				p.emit(ObsEvent{Kind: ObsReclaim, Core: c, Victim: occ, Epoch: epoch})
 			}
 		}
 	}
@@ -244,7 +269,8 @@ func (p *Program) Run(root Task) error {
 			p.st.runs.Add(1)
 			p.emit(ObsEvent{Kind: ObsRunDone, Core: -1,
 				Spawned: p.st.spawns(), Executed: p.st.execs(),
-				DupPops: p.st.dupPops()})
+				DupPops:     p.st.dupPops(),
+				LocalSteals: p.st.localSteals(), RemoteSteals: p.st.remoteSteals()})
 			return nil
 		case <-tick.C():
 			if p.active.Load() == 0 {
@@ -267,7 +293,9 @@ func (p *Program) regrabHome() {
 		}
 	case DWS:
 		t := p.sys.table
-		for _, c := range p.homeCores() {
+		home := p.homeCores()
+		epoch := t.EntitlementEpoch()
+		for _, c := range home {
 			switch occ := t.Occupant(c); {
 			case occ == p.id:
 				p.wake(p.workers[c])
@@ -280,7 +308,7 @@ func (p *Program) regrabHome() {
 			default:
 				if t.Reclaim(c, p.id, occ) {
 					p.st.reclaims.Add(1)
-					p.emit(ObsEvent{Kind: ObsReclaim, Core: c, Victim: occ})
+					p.emit(ObsEvent{Kind: ObsReclaim, Core: c, Victim: occ, Epoch: epoch})
 					p.wake(p.workers[c])
 				}
 			}
@@ -441,6 +469,10 @@ func (p *Program) coordTick() {
 		}
 	}
 	ev.NR = len(recls)
+	// The entitlement epoch the reclaim targets derive from, read after
+	// homeCores so a concurrent publish can only make the stamp newer —
+	// observers judging reclaim legality defer to the stamped batch.
+	entEpoch := t.EntitlementEpoch()
 
 	// Case 1 — free slots first.
 	for _, c := range frees {
@@ -484,7 +516,7 @@ func (p *Program) coordTick() {
 			}
 			if t.Reclaim(c, p.id, occ) {
 				p.st.reclaims.Add(1)
-				p.emit(ObsEvent{Kind: ObsReclaim, Core: c, Victim: occ})
+				p.emit(ObsEvent{Kind: ObsReclaim, Core: c, Victim: occ, Epoch: entEpoch})
 				ev.Reclaimed++
 				if p.wake(w) {
 					nw--

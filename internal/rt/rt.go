@@ -37,6 +37,7 @@ import (
 	"dws/internal/arbiter"
 	"dws/internal/coretable"
 	"dws/internal/deque"
+	"dws/internal/topo"
 	"dws/internal/vclock"
 )
 
@@ -132,12 +133,27 @@ type Config struct {
 	// releases, coordinator passes, lease joins/sweeps, run boundaries).
 	// The invariant checker in internal/schedcheck plugs in here.
 	Observer Observer
+	// Topology describes the socket layout of the core slots. It drives
+	// the two-phase victim order (same-socket victims are probed before
+	// remote ones, with steal-back bias and a bounded remote backoff) and,
+	// when an arbiter publishes entitlements, the placement of each
+	// program's entitled block (arbiter.Place: within one socket when it
+	// fits, torn along socket boundaries when it doesn't). nil means flat
+	// — a single socket, the exact pre-topology behaviour. Live daemons
+	// pass topo.Detect(cores) to pick up the host's sysfs socket map.
+	Topology *topo.Topology
 	// FaultSkipReclaim is a fault-injection hook for correctness tests:
 	// when set, the coordinator skips the §3.3 reclaim cases (2 and 3)
 	// entirely, i.e. it never takes borrowed home cores back. The
 	// schedcheck invariant checker must catch the resulting under-waking;
 	// see also Program.FailBeats.
 	FaultSkipReclaim bool
+	// FaultFlatPlacement is a fault-injection hook: the program derives
+	// its entitled home block from the flat prefix-sum split even though a
+	// topology is configured — i.e. the runtime "ignores topology" while
+	// the checker recomputes the placed blocks. schedcheck must catch the
+	// resulting out-of-block reclaims.
+	FaultFlatPlacement bool
 	// ArbiterPeriod, when positive, enables QoS-weighted elastic core
 	// arbitration (DWS only): every period the system folds each live
 	// program's declared weight/SLO (Program.SetQoS) and measured demand
@@ -187,6 +203,11 @@ func (c *Config) validate() error {
 			return fmt.Errorf("rt: external table covers %d cores, want %d",
 				c.Table.K(), c.Cores)
 		}
+	}
+	if c.Topology == nil {
+		c.Topology = topo.Flat(c.Cores)
+	} else if c.Topology.K() != c.Cores {
+		return fmt.Errorf("rt: topology covers %d cores, want %d", c.Topology.K(), c.Cores)
 	}
 	if c.ArbiterPeriod < 0 {
 		c.ArbiterPeriod = 0
@@ -443,10 +464,15 @@ func (s *System) Close() {
 
 // Stats is a snapshot of a program's scheduler counters.
 type Stats struct {
-	Steals, FailedSteals     int64
-	Sleeps, Wakes, Evictions int64
-	Claims, Reclaims         int64
-	Runs                     int64
+	Steals, FailedSteals int64
+	// LocalSteals and RemoteSteals split deque steals by whether the
+	// victim shared the thief's socket (Config.Topology). Injection-queue
+	// steals count toward Steals but neither locality bucket; under a
+	// flat topology every deque steal is local.
+	LocalSteals, RemoteSteals int64
+	Sleeps, Wakes, Evictions  int64
+	Claims, Reclaims          int64
+	Runs                      int64
 	// DeadSweeps counts dead co-runner leases this program's coordinator
 	// swept; CoresRecovered the cores those sweeps freed (DWS only).
 	DeadSweeps, CoresRecovered int64
@@ -472,11 +498,12 @@ type Stats struct {
 // atomic add on an exclusively held line costs single-digit nanoseconds;
 // it is the cross-core line bouncing the sharding removes.
 type workerStats struct {
-	spawns, execs        atomic.Int64
-	steals, failedSteals atomic.Int64
-	sleeps, evictions    atomic.Int64
-	dupPops              atomic.Int64
-	_                    [128 - 7*8]byte
+	spawns, execs             atomic.Int64
+	steals, failedSteals      atomic.Int64
+	localSteals, remoteSteals atomic.Int64
+	sleeps, evictions         atomic.Int64
+	dupPops                   atomic.Int64
+	_                         [128 - 9*8]byte
 }
 
 // progStats holds the live counters behind Stats: one padded shard per
@@ -521,6 +548,22 @@ func (ps *progStats) dupPops() int64 {
 	return n
 }
 
+func (ps *progStats) localSteals() int64 {
+	var n int64
+	for i := range ps.w {
+		n += ps.w[i].localSteals.Load()
+	}
+	return n
+}
+
+func (ps *progStats) remoteSteals() int64 {
+	var n int64
+	for i := range ps.w {
+		n += ps.w[i].remoteSteals.Load()
+	}
+	return n
+}
+
 func (ps *progStats) snapshot() Stats {
 	s := Stats{
 		Wakes:          ps.wakes.Load(),
@@ -535,6 +578,8 @@ func (ps *progStats) snapshot() Stats {
 		ws := &ps.w[i]
 		s.Steals += ws.steals.Load()
 		s.FailedSteals += ws.failedSteals.Load()
+		s.LocalSteals += ws.localSteals.Load()
+		s.RemoteSteals += ws.remoteSteals.Load()
 		s.Sleeps += ws.sleeps.Load()
 		s.Evictions += ws.evictions.Load()
 		s.Spawns += ws.spawns.Load()

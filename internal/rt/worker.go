@@ -21,8 +21,9 @@ const (
 // the coordinator on every wake and st is read by Stats(), so they sit
 // behind a pad where their traffic cannot dirty the owner's line.
 type worker struct {
-	p  *Program
-	id int
+	p      *Program
+	id     int
+	socket int // Topology.SocketOf(id); fixed for the worker's life
 
 	deque deque.Engine[taskNode]
 	rng   uint64 // xorshift64* victim-selector state; owner-only
@@ -33,21 +34,44 @@ type worker struct {
 	guard bool
 
 	failedSteals int
+	// remoteSkip is the remaining bounded remote-steal backoff: after a
+	// full two-phase scan (including remote sockets) comes up empty, the
+	// next remoteSkip scans stay same-socket only so a drought does not
+	// keep hammering remote LLCs. Always 0 under a flat topology.
+	remoteSkip int
+
+	// victims is this worker's scan set, hoisted from the program at
+	// construction: same-socket victims first (nLocal of them), then the
+	// remote ones grouped by ascending socket; sockOff[s] is the offset of
+	// socket s's segment in victims (-1 when s contributes none), which is
+	// where a steal-back scan starts. scan is the preallocated buffer
+	// stealOrder fills so trySteal never allocates.
+	victims []*worker
+	nLocal  int
+	sockOff []int
+	scan    []*worker
 
 	_ [64]byte // owner-local fields above, cross-goroutine below
 
 	st     *workerStats // this worker's shard of the program counters
 	state  atomic.Int32
 	wakeCh chan struct{}
+	// robbedFrom is the socket id of the last thief that stole from this
+	// worker across a socket boundary (-1 = none). The owner consumes it
+	// on its next remote scan: a worker robbed remotely prefers stealing
+	// back from the thief's socket, where its tasks (and their cache
+	// lines) went.
+	robbedFrom atomic.Int32
 }
 
 func newWorker(p *Program, id int) *worker {
 	eng := p.sys.cfg.Engine
-	return &worker{
-		p:     p,
-		id:    id,
-		deque: deque.NewEngine[taskNode](eng, 64),
-		guard: eng.Multiplicity(),
+	w := &worker{
+		p:      p,
+		id:     id,
+		socket: p.sys.cfg.Topology.SocketOf(id),
+		deque:  deque.NewEngine[taskNode](eng, 64),
+		guard:  eng.Multiplicity(),
 		// Same per-(program, worker) seed family the old rand.Rand used;
 		// xorshift needs a non-zero state, which the +1 guarantees.
 		rng:    uint64(int64(p.idx)*1_000_003 + int64(id)*97 + 1),
@@ -55,6 +79,8 @@ func newWorker(p *Program, id int) *worker {
 		st:     &p.st.w[id],
 		wakeCh: make(chan struct{}, 1),
 	}
+	w.robbedFrom.Store(-1)
+	return w
 }
 
 // nextRand advances the worker's xorshift64* PRNG. It replaces a per-worker
@@ -123,23 +149,90 @@ func (w *worker) loop() {
 	}
 }
 
-// trySteal scans the victims once in random order, then the program's
-// injection queue. A full scan without success counts as one failed steal
-// attempt toward T_SLEEP. The start offset uses a multiply-shift range
-// reduction and the scan wraps with a compare instead of a per-probe
-// modulo.
-func (w *worker) trySteal() *taskNode {
-	vs := w.p.victims[w.id]
-	if n := len(vs); n > 0 {
-		off := int((w.nextRand() >> 32) * uint64(n) >> 32)
-		for i := 0; i < n; i++ {
-			if t := vs[off].deque.Steal(); t != nil {
-				return t
-			}
-			if off++; off == n {
+// remoteStealBackoff is how many scans stay same-socket only after a
+// full two-phase scan (locals and remotes) finds nothing. Small and
+// constant so the extra sleep latency it can add before the T_SLEEP
+// drought fires stays bounded.
+const remoteStealBackoff = 2
+
+// stealOrder fills w.scan with this attempt's probe order and returns
+// its length: phase 1 is the same-socket victims rotated by a random
+// offset, phase 2 (when includeRemote) the remote victims — starting at
+// the robbing socket's segment if this worker was recently robbed
+// across a socket boundary (steal-back), at a random remote otherwise.
+// Each victim appears exactly once per phase it belongs to; under a
+// flat topology every victim is phase 1 and the order is exactly the
+// old single-phase random rotation.
+func (w *worker) stealOrder(includeRemote bool) int {
+	vs := w.victims
+	nl := w.nLocal
+	k := 0
+	if nl > 0 {
+		off := int((w.nextRand() >> 32) * uint64(nl) >> 32)
+		for i := 0; i < nl; i++ {
+			w.scan[k] = vs[off]
+			k++
+			if off++; off == nl {
 				off = 0
 			}
 		}
+	}
+	nr := len(vs) - nl
+	if !includeRemote || nr == 0 {
+		return k
+	}
+	start := -1
+	if rf := w.robbedFrom.Load(); rf >= 0 {
+		w.robbedFrom.Store(-1)
+		if int(rf) < len(w.sockOff) {
+			if so := w.sockOff[rf]; so >= 0 {
+				start = so - nl
+			}
+		}
+	}
+	if start < 0 {
+		start = int((w.nextRand() >> 32) * uint64(nr) >> 32)
+	}
+	off := start
+	for i := 0; i < nr; i++ {
+		w.scan[k] = vs[nl+off]
+		k++
+		if off++; off == nr {
+			off = 0
+		}
+	}
+	return k
+}
+
+// trySteal probes the victims in stealOrder — same socket first, then
+// remote sockets unless the bounded backoff is skipping them — and
+// falls back to the program's injection queue. A scan without success
+// counts as one failed steal attempt toward T_SLEEP. The probe loop
+// walks the preallocated scan buffer (no per-attempt slice derivation)
+// and a successful steal is classified local/remote by its phase; a
+// remote steal leaves the thief's socket id with the victim to arm the
+// steal-back bias.
+func (w *worker) trySteal() *taskNode {
+	full := w.remoteSkip == 0
+	if !full {
+		w.remoteSkip--
+	}
+	n := w.stealOrder(full)
+	nl := w.nLocal
+	for i := 0; i < n; i++ {
+		v := w.scan[i]
+		if t := v.deque.Steal(); t != nil {
+			if i < nl {
+				w.st.localSteals.Add(1)
+			} else {
+				w.st.remoteSteals.Add(1)
+				v.robbedFrom.Store(int32(w.socket))
+			}
+			return t
+		}
+	}
+	if full && n > nl {
+		w.remoteSkip = remoteStealBackoff
 	}
 	return w.p.inject.Steal()
 }

@@ -158,6 +158,8 @@ func fireJob(client *http.Client, baseURL string, req server.JobRequest) Outcome
 			return o
 		}
 		o.LatencyMS = res.TotalMS
+		o.LocalSteals = res.Stats.LocalSteals
+		o.RemoteSteals = res.Stats.RemoteSteals
 		if req.DeadlineMS > 0 && res.TotalMS > float64(req.DeadlineMS) {
 			o.Status = "late"
 		} else {

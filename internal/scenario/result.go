@@ -20,6 +20,12 @@ type Outcome struct {
 	// LatencyMS is end-to-end latency (queue wait + run) for ok/late jobs;
 	// 0 otherwise.
 	LatencyMS float64
+	// LocalSteals / RemoteSteals are the job's scheduler-counter deltas
+	// split by socket locality. The live replay fills them from the
+	// server's per-job stats; the simulated replay reports per-program
+	// totals instead, folded into the Result after Summarize.
+	LocalSteals  int64
+	RemoteSteals int64
 }
 
 // LatencyMS summarises an OK-latency sample.
@@ -62,6 +68,11 @@ type TenantResult struct {
 	Shed          int `json:"shed,omitempty"`
 	EarlyRejected int `json:"early_rejected,omitempty"`
 	Errors        int `json:"errors"`
+	// LocalSteals / RemoteSteals split the tenant's successful deque
+	// steals by whether thief and victim shared a socket (both 0 on a
+	// flat topology, where steals are not bucketed).
+	LocalSteals  int64 `json:"local_steals,omitempty"`
+	RemoteSteals int64 `json:"remote_steals,omitempty"`
 	// Latency summarises completed (ok + late) jobs only: refused and
 	// expired jobs never ran, so mixing them in would fabricate latencies.
 	Latency LatencyMS `json:"latency_ms"`
@@ -91,8 +102,22 @@ type Result struct {
 	Fairness float64 `json:"fairness"`
 	// MakespanMS is the time from trace start to the last job completion.
 	MakespanMS float64 `json:"makespan_ms"`
+	// LocalSteals / RemoteSteals aggregate the per-tenant locality split.
+	LocalSteals  int64 `json:"local_steals,omitempty"`
+	RemoteSteals int64 `json:"remote_steals,omitempty"`
 
 	Tenants []TenantResult `json:"tenants"`
+}
+
+// RemoteStealShare is the fraction of locality-bucketed steals that
+// crossed a socket boundary — the number the locality study drives down.
+// It is 0 when no steals were bucketed (flat topology or no stealing).
+func (r *Result) RemoteStealShare() float64 {
+	total := r.LocalSteals + r.RemoteSteals
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RemoteSteals) / float64(total)
 }
 
 // OKRate is the fraction of sent jobs that completed within deadline.
@@ -143,6 +168,10 @@ func Summarize(scenarioName, policy, substrate string, outcomes []Outcome, makes
 			tr.Errors++
 			r.Errors++
 		}
+		tr.LocalSteals += o.LocalSteals
+		tr.RemoteSteals += o.RemoteSteals
+		r.LocalSteals += o.LocalSteals
+		r.RemoteSteals += o.RemoteSteals
 		if o.Status == "ok" || o.Status == "late" {
 			lat[o.Tenant] = append(lat[o.Tenant], o.LatencyMS)
 		}

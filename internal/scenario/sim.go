@@ -137,7 +137,24 @@ func RunSim(tr *Trace, opts SimOptions) (*Result, error) {
 		}
 		outcomes = append(outcomes, o)
 	}
-	return Summarize(tr.Name, cfg.Policy.String(), "sim", outcomes, float64(res.EndTimeUS)/1000), nil
+	r := Summarize(tr.Name, cfg.Policy.String(), "sim", outcomes, float64(res.EndTimeUS)/1000)
+	// The sim tracks the locality steal split per program, not per job:
+	// fold the program totals into the summary after the fact.
+	row := map[string]*TenantResult{}
+	for i := range r.Tenants {
+		row[r.Tenants[i].Tenant] = &r.Tenants[i]
+	}
+	for i, pr := range res.Programs {
+		tr := row[tenants[i]]
+		if tr == nil {
+			continue // tenant with no job events
+		}
+		tr.LocalSteals = pr.Stats.LocalSteals
+		tr.RemoteSteals = pr.Stats.RemoteSteals
+		r.LocalSteals += pr.Stats.LocalSteals
+		r.RemoteSteals += pr.Stats.RemoteSteals
+	}
+	return r, nil
 }
 
 // resolveKernel looks a trace kernel reference up by ID ("p-1", "s-2")

@@ -39,10 +39,25 @@
 // reclaim-home-only accepts a reclaim of any core in the reclaimer's
 // current or previous entitled block (a coordinator may act on a vector
 // published an instant before its rows reach the checker; reclaims that
-// are outside both are held until the next batch resolves them). The
+// are outside both are held until the next batch resolves them). Reclaims
+// stamped (ObsReclaim.Epoch) with an entitlement epoch the checker has
+// not seen rows for yet are held unjudged until that batch arrives —
+// without the stamp, a reclaim racing ahead of the *first* batch would be
+// judged against the static homes, which can wrongly legalise a
+// cross-block reclaim the published vector forbids. The
 // three-case wake-count assertions need no change — N_f and N_r are
 // self-reported per tick, measured by the runtime against the elastic
 // home the entitlement checks pin.
+//
+// With a multi-socket Options.SocketSize the elastic home is the placed
+// block (arbiter.Place recomputed from the published size vector, the
+// same derivation the runtime and the simulator use), so a runtime that
+// ignores topology and reclaims against the flat prefix-sum block is
+// caught by reclaim-home-only. Each completed batch is additionally
+// checked against an independent free-run model of the machine: walking
+// the slots in placement order, a program whose entitlement fits some
+// free within-socket run must receive a block that does not straddle a
+// socket boundary (placement-socket-affinity).
 //
 // Order-insensitive checks (the list above) run on every event. Transition
 // checks that depend on cross-goroutine event order (claim of an occupied
@@ -62,6 +77,7 @@ import (
 	"dws/internal/coretable"
 	"dws/internal/deque"
 	"dws/internal/rt"
+	"dws/internal/topo"
 )
 
 // Violation is one invariant breach, recorded with the event that exposed
@@ -94,6 +110,11 @@ type Options struct {
 	// pass the system's resolved engine (rt.System.Engine) to permit
 	// multiplicity.
 	Engine deque.Kind
+	// SocketSize is the number of cores per socket of the observed
+	// machine (0 or ≥ Cores = flat). On a multi-socket geometry the
+	// entitled home blocks are the placed ones (arbiter.Place) and each
+	// entitlement batch is checked for socket affinity.
+	SocketSize int
 	// Strict enables the exact three-case wake-count assertion
 	// (Woken == min(N_w, N_f + N_r) per coordinator pass). Each tick's
 	// fields are internally consistent, so this needs no cross-goroutine
@@ -115,13 +136,14 @@ type Options struct {
 // violations. Plug Observe into rt.Config.Observer.
 type Checker struct {
 	opt   Options
+	tp    *topo.Topology
 	homes [][]int // per 0-based slot
 
 	mu         sync.Mutex
 	seq        int64
-	occ        []int32          // modeled table occupancy (DWS)
-	asleep     map[int32][]bool // per prog ID, per core: modeled sleeping
-	epochs     map[int32]int64  // last seen lease epoch per prog ID
+	occ        []int32            // modeled table occupancy (DWS)
+	asleep     map[int32][]bool   // per prog ID, per core: modeled sleeping
+	epochs     map[int32]int64    // last seen lease epoch per prog ID
 	lastDone   map[int32][3]int64 // spawned, executed, dup-pops
 	counts     map[rt.ObsKind]int64
 	events     []rt.ObsEvent
@@ -144,6 +166,7 @@ func New(opt Options) *Checker {
 	}
 	c := &Checker{
 		opt:      opt,
+		tp:       topo.Uniform(opt.Cores, opt.SocketSize),
 		occ:      make([]int32, opt.Cores),
 		asleep:   make(map[int32][]bool),
 		epochs:   make(map[int32]int64),
@@ -190,7 +213,16 @@ func (c *Checker) Observe(ev rt.ObsEvent) {
 		}
 		c.occ[ev.Core] = ev.Prog
 	case rt.ObsReclaim:
-		if !c.reclaimInHome(ev.Prog, ev.Core) {
+		switch {
+		case ev.Epoch > c.entEpoch:
+			// The reclaim is stamped with an entitlement epoch whose batch
+			// rows have not reached us yet (the arbiter publishes to the
+			// table before its rows reach the observer) — judging it now
+			// against the stale vector, or against the static homes before
+			// the first batch, could legalise a cross-block reclaim. Hold
+			// it until the stamped batch arrives.
+			c.pendingRec = append(c.pendingRec, ev)
+		case !c.reclaimInHome(ev.Prog, ev.Core):
 			if c.entEpoch > 0 {
 				// The coordinator may be acting on a batch published an
 				// instant before its rows reached us; the next batch (or
@@ -370,6 +402,7 @@ func (c *Checker) checkEntitle(ev rt.ObsEvent) {
 	c.entRows = append(c.entRows, ev)
 	if ev.Batch > 0 && len(c.entRows) >= ev.Batch {
 		c.checkEntitleBatch()
+		c.checkPlacementBatch()
 		c.entRows = c.entRows[:0]
 		c.resolvePendingReclaims()
 	}
@@ -397,17 +430,23 @@ func (c *Checker) checkEntitleBatch() {
 	}
 }
 
-// resolvePendingReclaims re-judges reclaims that were outside the home
-// block when observed, against the vector the completed batch installed.
+// resolvePendingReclaims re-judges reclaims that could not be judged when
+// observed, against the vector the completed batch installed. Reclaims
+// stamped with a still-future epoch stay pending for the next batch.
 // Caller holds c.mu.
 func (c *Checker) resolvePendingReclaims() {
+	keep := c.pendingRec[:0]
 	for _, ev := range c.pendingRec {
+		if ev.Epoch > c.entEpoch {
+			keep = append(keep, ev)
+			continue
+		}
 		if !c.reclaimInHome(ev.Prog, ev.Core) {
 			c.violate("reclaim-home-only", ev,
 				fmt.Sprintf("p%d reclaimed core %d outside its entitled home block", ev.Prog, ev.Core))
 		}
 	}
-	c.pendingRec = c.pendingRec[:0]
+	c.pendingRec = keep
 }
 
 // reclaimInHome reports whether core is a legal reclaim target for prog:
@@ -427,9 +466,21 @@ func (c *Checker) reclaimInHome(prog int32, core int) bool {
 	return c.prevEnts != nil && c.inEntBlock(c.prevEnts, idx, core)
 }
 
-// inEntBlock mirrors coretable.EntitledCores: slot idx's block starts at
-// the prefix sum of the lower slots' entitlements. Caller holds c.mu.
+// inEntBlock reports whether core lies in slot idx's entitled block. On a
+// flat topology that mirrors coretable.EntitledCores — the block starts
+// at the prefix sum of the lower slots' entitlements; on a multi-socket
+// one it is membership in the placed block, recomputed from the size
+// vector exactly as the runtime and the simulator recompute it. Caller
+// holds c.mu.
 func (c *Checker) inEntBlock(ents []int64, idx int, core int) bool {
+	if !c.tp.Flat() {
+		for _, pc := range arbiter.PlacedFor(c.tp, entsInt32(ents), idx) {
+			if pc == core {
+				return true
+			}
+		}
+		return false
+	}
 	var start int64
 	for i := 0; i < idx; i++ {
 		start += ents[i]
@@ -439,6 +490,70 @@ func (c *Checker) inEntBlock(ents []int64, idx int, core int) bool {
 		end = int64(c.opt.Cores)
 	}
 	return int64(core) >= start && int64(core) < end
+}
+
+func entsInt32(ents []int64) []int32 {
+	out := make([]int32, len(ents))
+	for i, e := range ents {
+		out[i] = int32(e)
+	}
+	return out
+}
+
+// checkPlacementBatch asserts socket affinity of the vector the completed
+// batch installed, against an independent free-run model (not Place's own
+// bookkeeping): walking the slots in placement order over a free-core
+// set, every entitled block must be disjoint and exactly its published
+// size, and a program whose entitlement fits some free run within one
+// socket must not be handed a block straddling a socket boundary. No-op
+// on a flat topology. Caller holds c.mu.
+func (c *Checker) checkPlacementBatch() {
+	if c.tp.Flat() {
+		return
+	}
+	ev := c.entRows[len(c.entRows)-1]
+	placed := arbiter.Place(c.tp, entsInt32(c.ents))
+	free := make([]bool, c.opt.Cores)
+	for i := range free {
+		free[i] = true
+	}
+	for idx, block := range placed {
+		if int64(len(block)) != c.ents[idx] {
+			c.violate("placement-socket-affinity", ev,
+				fmt.Sprintf("slot %d placed on %d cores, entitled %d", idx, len(block), c.ents[idx]))
+			return
+		}
+		fits := false
+		for s := 0; s < c.tp.NumSockets() && !fits; s++ {
+			run := 0
+			for _, core := range c.tp.Socket(s) {
+				if free[core] {
+					run++
+					if int64(run) >= c.ents[idx] {
+						fits = true
+						break
+					}
+				} else {
+					run = 0
+				}
+			}
+		}
+		sockets := map[int]bool{}
+		for _, core := range block {
+			if !free[core] {
+				c.violate("placement-socket-affinity", ev,
+					fmt.Sprintf("slot %d placed on core %d already granted to a lower slot", idx, core))
+				return
+			}
+			free[core] = false
+			sockets[c.tp.SocketOf(core)] = true
+		}
+		if fits && len(sockets) > 1 {
+			c.violate("placement-socket-affinity", ev,
+				fmt.Sprintf("slot %d (%d cores) straddles %d sockets though a within-socket run fit",
+					idx, len(block), len(sockets)))
+		}
+	}
 }
 
 // asleepOf returns (lazily creating) the modeled sleep state of prog's
@@ -552,6 +667,16 @@ func (c *Checker) Err() error {
 	}
 	vs := c.Violations()
 	return fmt.Errorf("schedcheck: %d violation(s), first: %s", len(vs), vs[0])
+}
+
+// EntitlementEpoch returns the latest entitlement epoch whose batch rows
+// the checker has observed (0 until the first complete publish). Test
+// harnesses compare it against the runtime table's epoch to know when the
+// checker's view of entitlements has caught up with a concurrent publish.
+func (c *Checker) EntitlementEpoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entEpoch
 }
 
 // Count returns how many events of kind were observed.

@@ -13,6 +13,7 @@ import (
 	"dws/internal/rt"
 	"dws/internal/sim"
 	"dws/internal/task"
+	"dws/internal/topo"
 	"dws/internal/trace"
 	"dws/internal/vclock"
 )
@@ -64,6 +65,11 @@ type Scenario struct {
 	// repetition; programs = len(Graphs).
 	Cores      int
 	TargetRuns int
+	// SocketSize, when positive and < Cores, runs both substrates (and
+	// the invariant checker) on a multi-socket machine: topology-placed
+	// entitled blocks and socket-first victim scans on both sides. 0 (the
+	// default) is the flat machine.
+	SocketSize int
 	// ShareTol is the makespan-share tolerance enforced under ABP and EP
 	// (0 defaults to 0.25).
 	ShareTol float64
@@ -394,9 +400,13 @@ func compareOne(sc Scenario, pol rt.Policy, simOut SubstrateOutcome, simTrace ma
 // neutral machine model (no cache or contention penalties), so the diff
 // isolates scheduling behaviour.
 func runSimSide(sc Scenario, pol rt.Policy, seed int64, eng deque.Kind) (SubstrateOutcome, map[string]int, error) {
+	socketSize := sc.Cores
+	if sc.SocketSize > 0 {
+		socketSize = sc.SocketSize
+	}
 	cfg := sim.Config{
 		Cores:         sc.Cores,
-		SocketSize:    sc.Cores,
+		SocketSize:    socketSize,
 		Policy:        simPolicy(pol),
 		Engine:        eng,
 		QuantumUS:     1000,
@@ -461,10 +471,11 @@ func runLiveSide(sc Scenario, pol rt.Policy, eng deque.Kind) (SubstrateOutcome, 
 
 	fake := vclock.NewFake()
 	checker := New(Options{
-		Cores:    sc.Cores,
-		Programs: len(sc.Graphs),
-		Policy:   pol,
-		Engine:   eng,
+		Cores:      sc.Cores,
+		Programs:   len(sc.Graphs),
+		Policy:     pol,
+		Engine:     eng,
+		SocketSize: sc.SocketSize,
 	})
 	const coordPeriod = 2 * time.Millisecond
 	rtCfg := rt.Config{
@@ -475,6 +486,9 @@ func runLiveSide(sc Scenario, pol rt.Policy, eng deque.Kind) (SubstrateOutcome, 
 		CoordPeriod: coordPeriod,
 		Clock:       fake,
 		Observer:    checker.Observe,
+	}
+	if sc.SocketSize > 0 {
+		rtCfg.Topology = topo.Uniform(sc.Cores, sc.SocketSize)
 	}
 	if pol == rt.DWS {
 		// Arbitration at (implicit) equal weights: must degenerate to the

@@ -21,6 +21,25 @@ func artifactDir(t *testing.T) string {
 	return t.TempDir()
 }
 
+// conformanceScenarios returns the default scenario set, re-shaped for a
+// multi-socket machine when SCHEDCHECK_SOCKET_SIZE is set (the CI
+// locality job runs the matrix with sockets of 4 and 8 besides flat).
+// Values ≤ 0 or ≥ the scenario's core count degrade to flat, exactly as
+// topo.Uniform does.
+func conformanceScenarios(t *testing.T) []Scenario {
+	scs := DefaultScenarios()
+	if s := os.Getenv("SCHEDCHECK_SOCKET_SIZE"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad SCHEDCHECK_SOCKET_SIZE %q: %v", s, err)
+		}
+		for i := range scs {
+			scs[i].SocketSize = v
+		}
+	}
+	return scs
+}
+
 func checkReport(t *testing.T, rep *Report, label string) {
 	t.Helper()
 	if rep.Pass() {
@@ -52,7 +71,7 @@ func TestConformanceDefaultScenarios(t *testing.T) {
 		}
 		seed = v
 	}
-	rep, err := RunConformance(DefaultScenarios(), ConformancePolicies, seed)
+	rep, err := RunConformance(conformanceScenarios(t), ConformancePolicies, seed)
 	if err != nil {
 		t.Fatalf("RunConformance: %v", err)
 	}
@@ -80,7 +99,7 @@ func TestConformanceSeedSweep(t *testing.T) {
 			t.Fatalf("bad seed %q in SCHEDCHECK_SEEDS: %v", f, err)
 		}
 		t.Run("seed"+f, func(t *testing.T) {
-			rep, err := RunConformance(DefaultScenarios(), ConformancePolicies, seed)
+			rep, err := RunConformance(conformanceScenarios(t), ConformancePolicies, seed)
 			if err != nil {
 				t.Fatalf("RunConformance: %v", err)
 			}

@@ -37,6 +37,11 @@ type JobRequest struct {
 type Stats struct {
 	Steals       int64 `json:"steals"`
 	FailedSteals int64 `json:"failed_steals"`
+	// LocalSteals / RemoteSteals split successful deque steals by whether
+	// thief and victim shared a socket (both 0 on a flat topology, where
+	// the runtime does not bucket steals).
+	LocalSteals  int64 `json:"local_steals,omitempty"`
+	RemoteSteals int64 `json:"remote_steals,omitempty"`
 	Sleeps       int64 `json:"sleeps"`
 	Wakes        int64 `json:"wakes"`
 	Evictions    int64 `json:"evictions"`
@@ -57,6 +62,8 @@ func FromRTStats(s rt.Stats) Stats {
 	return Stats{
 		Steals:         s.Steals,
 		FailedSteals:   s.FailedSteals,
+		LocalSteals:    s.LocalSteals,
+		RemoteSteals:   s.RemoteSteals,
 		Sleeps:         s.Sleeps,
 		Wakes:          s.Wakes,
 		Evictions:      s.Evictions,
@@ -75,6 +82,8 @@ func (s Stats) Sub(o Stats) Stats {
 	return Stats{
 		Steals:         s.Steals - o.Steals,
 		FailedSteals:   s.FailedSteals - o.FailedSteals,
+		LocalSteals:    s.LocalSteals - o.LocalSteals,
+		RemoteSteals:   s.RemoteSteals - o.RemoteSteals,
 		Sleeps:         s.Sleeps - o.Sleeps,
 		Wakes:          s.Wakes - o.Wakes,
 		Evictions:      s.Evictions - o.Evictions,
@@ -143,8 +152,11 @@ type TenantInfo struct {
 type Info struct {
 	Policy string `json:"policy"`
 	// Engine is the hosted system's resolved deque engine.
-	Engine     string `json:"engine,omitempty"`
-	Cores      int    `json:"cores"`
+	Engine string `json:"engine,omitempty"`
+	Cores  int    `json:"cores"`
+	// Topology describes the hosted system's core topology ("flat" when
+	// locality-aware placement is off).
+	Topology   string `json:"topology,omitempty"`
 	MaxTenants int    `json:"max_tenants"`
 	FreeSlots  int    `json:"free_slots"`
 	QueueDepth int    `json:"queue_depth"`

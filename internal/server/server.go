@@ -35,6 +35,7 @@ import (
 	"dws/internal/kernels"
 	"dws/internal/metrics"
 	"dws/internal/rt"
+	"dws/internal/topo"
 )
 
 // Config describes a job server.
@@ -46,6 +47,11 @@ type Config struct {
 	// (deque.KindAuto) resolves through DWS_DEQUE_ENGINE and defaults to
 	// Chase–Lev; unknown names are rejected by New.
 	Engine deque.Kind
+	// Topology is the socket map of the hosted system's core slots. nil
+	// (or a flat topology) keeps the locality-free behaviour; a
+	// multi-socket topology turns on socket-adjacent entitlement
+	// placement and two-phase (same-socket-first) victim selection.
+	Topology *topo.Topology
 	// MaxTenants is the system's program-slot count m (tenants beyond it
 	// are rejected until one is deleted); ≤0 defaults to Cores.
 	MaxTenants int
@@ -163,6 +169,7 @@ func New(cfg Config) (*Server, error) {
 		Programs:      cfg.MaxTenants,
 		Policy:        cfg.Policy,
 		Engine:        cfg.Engine,
+		Topology:      cfg.Topology,
 		CoordPeriod:   cfg.CoordPeriod,
 		LeaseTTL:      cfg.LeaseTTL,
 		ArbiterPeriod: cfg.ArbiterPeriod,
@@ -240,6 +247,24 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	})
+
+	// Locality-split steal series exist only on a multi-socket topology —
+	// the flat runtime does not bucket steals, so the series would be a
+	// misleading constant 0 (same reasoning as the DWS-only table gauges
+	// below). Cumulative counters surfaced at scrape, in the style of
+	// dws_entitlement_changes_total.
+	if tp := cfg.Topology; tp != nil && !tp.Flat() {
+		stealsTotal := s.reg.NewGauge("dws_steals_total",
+			"Successful deque steals split by locality (local = thief and victim share a socket, remote = cross-socket). Cumulative.",
+			"tenant", "locality")
+		s.reg.OnScrape(func() {
+			for _, t := range s.tenantList() {
+				st := t.prog.Stats()
+				stealsTotal.With(t.name, "local").Set(float64(st.LocalSteals))
+				stealsTotal.With(t.name, "remote").Set(float64(st.RemoteSteals))
+			}
+		})
+	}
 
 	// Core-allocation-table collectors exist only under DWS — the other
 	// policies have no table, and registering gauges that can never emit a
@@ -578,10 +603,15 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	topology := "flat"
+	if tp := s.cfg.Topology; tp != nil && !tp.Flat() {
+		topology = tp.String()
+	}
 	writeJSON(w, http.StatusOK, Info{
 		Policy:          s.sys.Policy().String(),
 		Engine:          s.sys.Engine().String(),
 		Cores:           s.sys.Cores(),
+		Topology:        topology,
 		MaxTenants:      s.cfg.MaxTenants,
 		FreeSlots:       s.sys.FreeSlots(),
 		QueueDepth:      s.cfg.QueueDepth,

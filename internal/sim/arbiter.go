@@ -15,11 +15,23 @@ import "dws/internal/arbiter"
 // table once the arbiter has published (entitlement epoch > 0), the
 // static even split otherwise. Mirrors rt.Program.homeCores so both
 // substrates reclaim against the same elastic home.
+//
+// On a multi-socket machine the entitled block is the placed one —
+// arbiter.Place recomputed from the published size vector, identical to
+// what the live runtime and schedcheck derive — so entitled blocks pack
+// within a socket whenever they fit. Static homes stay the flat split.
 func (m *Machine) homeOf(p *Program) []int {
-	if m.table != nil {
-		if ent := m.table.EntitledCores(p.idx); ent != nil {
-			return ent
+	if m.table == nil {
+		return p.home
+	}
+	if !m.topo.Flat() && !m.cfg.NoLocality {
+		if m.table.EntitlementEpoch() > 0 {
+			return arbiter.PlacedFor(m.topo, m.table.Entitlements(), p.idx)
 		}
+		return p.home
+	}
+	if ent := m.table.EntitledCores(p.idx); ent != nil {
+		return ent
 	}
 	return p.home
 }

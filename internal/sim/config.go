@@ -106,6 +106,11 @@ type Config struct {
 	CtxSwitchUS int64
 	// StealCostUS is the cost of one steal attempt (successful or not).
 	StealCostUS int64
+	// RemoteStealPenaltyUS is the extra latency of a successful steal that
+	// crosses a socket boundary (the stolen task's cache lines migrate
+	// across the interconnect). Charged on top of the per-attempt
+	// StealCostUS; 0 on a single-socket machine by construction.
+	RemoteStealPenaltyUS int64
 	// StealYieldUS is the pause a thief inserts between failed steal
 	// attempts once it has scanned every victim without success (MIT Cilk
 	// thieves yield in their steal loop). Together with TSleep it sets the
@@ -166,6 +171,14 @@ type Config struct {
 	// equal the number of programs.
 	Weights []float64
 
+	// NoLocality disables the topology awareness a multi-socket SocketSize
+	// otherwise grants: entitled home blocks fall back to the flat
+	// prefix-sum split and victim scans ignore socket boundaries — the
+	// pre-locality baseline for A/B studies. The locality steal counters
+	// and the remote-steal penalty still apply (they measure and price the
+	// machine, not the policy).
+	NoLocality bool
+
 	// WorkSharing switches every program from per-worker deques with
 	// stealing to one central per-program task pool (FIFO takes) — the
 	// work-sharing model §4.4 claims DWS generalises to. The sleep/wake
@@ -201,22 +214,23 @@ type Config struct {
 // suggested constants (T_SLEEP = k, T = 10 ms).
 func DefaultConfig() Config {
 	return Config{
-		Cores:          16,
-		SocketSize:     8,
-		Policy:         DWS,
-		QuantumUS:      6000,
-		CtxSwitchUS:    10,
-		StealCostUS:    5,
-		StealYieldUS:   400,
-		WakeLatencyUS:  60,
-		TSleep:         0, // defaults to Cores
-		CoordPeriodUS:  10000,
-		CoordCostUS:    5,
-		CachePenalty:   2.0,
-		CacheWarmUS:    2000,
-		LLCPenalty:     0.25,
-		SpinContention: 0.012,
-		Seed:           1,
+		Cores:                16,
+		SocketSize:           8,
+		Policy:               DWS,
+		QuantumUS:            6000,
+		CtxSwitchUS:          10,
+		StealCostUS:          5,
+		RemoteStealPenaltyUS: 2,
+		StealYieldUS:         400,
+		WakeLatencyUS:        60,
+		TSleep:               0, // defaults to Cores
+		CoordPeriodUS:        10000,
+		CoordCostUS:          5,
+		CachePenalty:         2.0,
+		CacheWarmUS:          2000,
+		LLCPenalty:           0.25,
+		SpinContention:       0.012,
+		Seed:                 1,
 	}
 }
 
@@ -247,7 +261,8 @@ func (c *Config) Validate() error {
 	if c.QuantumUS <= 0 || c.StealCostUS <= 0 {
 		return fmt.Errorf("%w: QuantumUS and StealCostUS must be positive", ErrBadConfig)
 	}
-	if c.CtxSwitchUS < 0 || c.WakeLatencyUS < 0 || c.CoordCostUS < 0 || c.StealYieldUS < 0 {
+	if c.CtxSwitchUS < 0 || c.WakeLatencyUS < 0 || c.CoordCostUS < 0 ||
+		c.StealYieldUS < 0 || c.RemoteStealPenaltyUS < 0 {
 		return fmt.Errorf("%w: negative cost", ErrBadConfig)
 	}
 	if c.CoordPeriodUS <= 0 {

@@ -12,6 +12,7 @@ import (
 	"dws/internal/coretable"
 	"dws/internal/deque"
 	"dws/internal/task"
+	"dws/internal/topo"
 	"dws/internal/wfq"
 )
 
@@ -30,6 +31,7 @@ type Machine struct {
 
 	cores []*Core
 	progs []*Program
+	topo  *topo.Topology   // socket layout derived from Config.SocketSize
 	table *coretable.Table // non-nil only under DWS
 	arb   *arbiter.Arbiter // non-nil only with Config.ArbiterPeriodUS > 0
 
@@ -97,7 +99,7 @@ func NewMachine(cfg Config, graphs []*task.Graph) (*Machine, error) {
 			ErrBadConfig, len(cfg.Weights), len(graphs))
 	}
 
-	m := &Machine{cfg: cfg}
+	m := &Machine{cfg: cfg, topo: topo.Uniform(cfg.Cores, cfg.SocketSize)}
 	heap.Init(&m.events)
 
 	for i := 0; i < cfg.Cores; i++ {
@@ -121,7 +123,10 @@ func NewMachine(cfg Config, graphs []*task.Graph) (*Machine, error) {
 			home:  homes[i],
 		}
 		for c := 0; c < cfg.Cores; c++ {
-			p.workers = append(p.workers, &Worker{prog: p, id: c, state: wOff})
+			p.workers = append(p.workers, &Worker{
+				prog: p, id: c, socket: c / cfg.SocketSize,
+				state: wOff, robbedFrom: -1,
+			})
 		}
 		m.progs = append(m.progs, p)
 	}
@@ -180,8 +185,14 @@ func homeAllocation(cfg *Config, graphs []*task.Graph) [][]int {
 	return homes
 }
 
-// buildVictimSets precomputes each worker's steal victims.
+// buildVictimSets precomputes each worker's steal victims. On a
+// multi-socket machine (unless Config.NoLocality) the list is partitioned:
+// the worker's same-socket siblings first (the nLocal prefix), then the
+// remote ones grouped by ascending socket — nextVictim scans the local
+// segment before the remote one each pass. A flat machine keeps the
+// pre-topology flat list with nLocal covering everything.
 func (m *Machine) buildVictimSets() {
+	flat := m.cfg.NoLocality || m.topo.Flat()
 	for _, p := range m.progs {
 		pool := p.workers
 		if m.cfg.Policy == EP {
@@ -193,9 +204,30 @@ func (m *Machine) buildVictimSets() {
 		p.victims = make([][]*Worker, m.cfg.Cores)
 		for _, w := range p.workers {
 			var vs []*Worker
+			if flat {
+				for _, v := range pool {
+					if v != w {
+						vs = append(vs, v)
+					}
+				}
+				w.nLocal = len(vs)
+				p.victims[w.id] = vs
+				continue
+			}
 			for _, v := range pool {
-				if v != w {
+				if v != w && v.socket == w.socket {
 					vs = append(vs, v)
+				}
+			}
+			w.nLocal = len(vs)
+			for s := 0; s < m.topo.NumSockets(); s++ {
+				if s == w.socket {
+					continue
+				}
+				for _, v := range pool {
+					if v.socket == s {
+						vs = append(vs, v)
+					}
 				}
 			}
 			p.victims[w.id] = vs
@@ -439,8 +471,17 @@ func (m *Machine) stealLoop(w *Worker) {
 			v := w.nextVictim(victims)
 			if t := v.stealFrom(); t != nil {
 				w.failedSteals = 0
+				w.passSteal = true
 				p.stats.Steals++
-				w.pendingLatency += int64(a) * cfg.StealCostUS
+				lat := int64(a) * cfg.StealCostUS
+				if v.socket != w.socket {
+					p.stats.RemoteSteals++
+					v.robbedFrom = w.socket
+					lat += cfg.RemoteStealPenaltyUS
+				} else {
+					p.stats.LocalSteals++
+				}
+				w.pendingLatency += lat
 				m.runTask(w, t)
 				return
 			}

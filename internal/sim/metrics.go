@@ -16,6 +16,11 @@ type ProgStats struct {
 	RunStartsUS []int64
 	// Steals and FailedSteals count steal attempts.
 	Steals, FailedSteals int64
+	// LocalSteals / RemoteSteals split the successful steals by whether
+	// thief and victim shared a socket. On a flat machine RemoteSteals is
+	// 0; the split is measured even under Config.NoLocality (that is the
+	// point of the A/B study).
+	LocalSteals, RemoteSteals int64
 	// Sleeps / Wakes / Evictions count worker state transitions.
 	Sleeps, Wakes, Evictions int64
 	// Claims / Reclaims count core-allocation-table operations by the

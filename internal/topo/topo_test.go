@@ -1,0 +1,107 @@
+package topo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFlat(t *testing.T) {
+	tp := Flat(4)
+	if !tp.Flat() || tp.NumSockets() != 1 || tp.K() != 4 {
+		t.Fatalf("Flat(4) = %v", tp)
+	}
+	for c := 0; c < 4; c++ {
+		if tp.SocketOf(c) != 0 {
+			t.Fatalf("core %d on socket %d, want 0", c, tp.SocketOf(c))
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	tp := Uniform(6, 2)
+	if tp.Flat() || tp.NumSockets() != 3 {
+		t.Fatalf("Uniform(6,2) = %v", tp)
+	}
+	for c := 0; c < 6; c++ {
+		if got, want := tp.SocketOf(c), c/2; got != want {
+			t.Fatalf("core %d on socket %d, want %d", c, got, want)
+		}
+	}
+	// Remainder socket: 5 cores at size 2 -> sockets {0,1},{2,3},{4}.
+	tp = Uniform(5, 2)
+	if tp.NumSockets() != 3 || len(tp.Socket(2)) != 1 || tp.Socket(2)[0] != 4 {
+		t.Fatalf("Uniform(5,2) = %v", tp)
+	}
+	// Degenerate sizes collapse to flat.
+	for _, sz := range []int{0, -1, 8, 9} {
+		if tp := Uniform(8, sz); !tp.Flat() {
+			t.Fatalf("Uniform(8,%d) = %v, want flat", sz, tp)
+		}
+	}
+}
+
+// writeSysfs lays out a fake cpu topology tree: pkgOf[c] is written as
+// cpu<c>'s physical_package_id.
+func writeSysfs(t *testing.T, pkgOf []string) string {
+	t.Helper()
+	root := t.TempDir()
+	for c, id := range pkgOf {
+		dir := filepath.Join(root, fmt.Sprintf("cpu%d", c), "topology")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "physical_package_id"), []byte(id+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestDetectAt(t *testing.T) {
+	// Two packages numbered sparsely by firmware (0 and 3): ids renumber
+	// densely in first-appearance order.
+	root := writeSysfs(t, []string{"0", "0", "3", "3"})
+	tp := DetectAt(root, 4)
+	if tp.Flat() || tp.NumSockets() != 2 {
+		t.Fatalf("DetectAt = %v, want 2 sockets", tp)
+	}
+	want := []int{0, 0, 1, 1}
+	for c, s := range want {
+		if tp.SocketOf(c) != s {
+			t.Fatalf("core %d on socket %d, want %d", c, tp.SocketOf(c), s)
+		}
+	}
+}
+
+func TestDetectAtFallsBackFlat(t *testing.T) {
+	// Missing tree entirely.
+	if tp := DetectAt(t.TempDir(), 4); !tp.Flat() {
+		t.Fatalf("missing tree: %v, want flat", tp)
+	}
+	// Tree describes fewer CPUs than asked for.
+	root := writeSysfs(t, []string{"0", "1"})
+	if tp := DetectAt(root, 4); !tp.Flat() {
+		t.Fatalf("short tree: %v, want flat", tp)
+	}
+	// Garbage id.
+	root = writeSysfs(t, []string{"0", "zap"})
+	if tp := DetectAt(root, 2); !tp.Flat() {
+		t.Fatalf("garbage id: %v, want flat", tp)
+	}
+}
+
+func TestDetectRealHostNeverPanics(t *testing.T) {
+	tp := Detect(2)
+	if tp == nil || tp.K() != 2 {
+		t.Fatalf("Detect(2) = %v", tp)
+	}
+	t.Logf("host topology (2 slots): %v", tp)
+}
+
+func TestString(t *testing.T) {
+	if got := Uniform(6, 2).String(); got != "topo{k=6 sockets=[0-1 2-3 4-5]}" {
+		t.Fatalf("String() = %q", got)
+	}
+}

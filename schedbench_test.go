@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"dws/internal/deque"
 	"dws/internal/kernels"
 	"dws/internal/rt"
+	"dws/internal/topo"
 )
 
 const (
@@ -65,6 +67,12 @@ func runEntry(name string, fn func(b *testing.B)) bench.BenchEntry {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
+		if len(r.Extra) > 0 {
+			e.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Extra[k] = v
+			}
+		}
 		if i == 0 || e.NsPerOp < best.NsPerOp {
 			best = e
 		}
@@ -84,15 +92,20 @@ type namedBench struct {
 // Chase–Lev so the committed baseline is independent of DWS_DEQUE_ENGINE;
 // rtKernelBenchEngine spells out other engines.
 func rtKernelBench(pol rt.Policy, mk func(b *testing.B) (task rt.Task, reset func())) func(b *testing.B) {
-	return rtKernelBenchEngine(pol, deque.KindChaseLev, mk)
+	return rtKernelBenchCfg(rt.Config{Policy: pol, Engine: deque.KindChaseLev}, mk)
 }
 
 func rtKernelBenchEngine(pol rt.Policy, eng deque.Kind, mk func(b *testing.B) (task rt.Task, reset func())) func(b *testing.B) {
+	return rtKernelBenchCfg(rt.Config{Policy: pol, Engine: eng}, mk)
+}
+
+// rtKernelBenchCfg fills the fixed 4-core single-program harness around
+// cfg's policy/engine/topology choices.
+func rtKernelBenchCfg(cfg rt.Config, mk func(b *testing.B) (task rt.Task, reset func())) func(b *testing.B) {
 	return func(b *testing.B) {
-		sys, err := rt.NewSystem(rt.Config{
-			Cores: 4, Programs: 1, Policy: pol, Engine: eng,
-			TSleep: 2, CoordPeriod: 2 * time.Millisecond,
-		})
+		cfg.Cores, cfg.Programs = 4, 1
+		cfg.TSleep, cfg.CoordPeriod = 2, 2*time.Millisecond
+		sys, err := rt.NewSystem(cfg)
 		if err != nil {
 			b.Fatalf("NewSystem: %v", err)
 		}
@@ -255,6 +268,80 @@ func hotpathBattery() []namedBench {
 			}
 		}
 	}
+	// contendedSteal pits nThieves live steal loops against one owner
+	// cycling a fixed batch through Push/Pop — the N-thieves-vs-one-owner
+	// shape two-phase victim selection concentrates on a loaded socket's
+	// deques. Elements carry their slot index; an epoch-stamped claim
+	// array separates unique hand-outs from duplicates, so the relaxed
+	// engine's multiplicity cost surfaces as the (ungated, informational)
+	// dups/op metric while ns/op per drained batch stays the gated number.
+	// Strict Chase–Lev must report dups/op = 0.
+	const contThieves = 3
+	const contBatch = 256
+	contendedSteal := func(kind deque.Kind) func(b *testing.B) {
+		return func(b *testing.B) {
+			d := deque.NewEngine[int](kind, contBatch)
+			ids := make([]int, contBatch)
+			claims := make([]atomic.Int64, contBatch)
+			for j := range ids {
+				ids[j] = j
+			}
+			var epoch, taken, dups atomic.Int64
+			// consume claims one hand-out: the first claim of a slot per
+			// epoch is unique, every other is a duplicate. The CAS retry
+			// loop is bounded (claims only ever advance toward the current
+			// epoch) and keeps the owner's drain condition live even when
+			// stale relaxed-engine hand-outs race a fresh one.
+			consume := func(p *int) bool {
+				if p == nil {
+					return false
+				}
+				for {
+					e := epoch.Load()
+					prev := claims[*p].Load()
+					if prev >= e {
+						dups.Add(1)
+						return true
+					}
+					if claims[*p].CompareAndSwap(prev, e) {
+						taken.Add(1)
+						return true
+					}
+				}
+			}
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for t := 0; t < contThieves; t++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for !stop.Load() {
+						if !consume(d.Steal()) {
+							runtime.Gosched()
+						}
+					}
+				}()
+			}
+			var goal int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				epoch.Add(1)
+				goal += contBatch
+				for j := range ids {
+					d.Push(&ids[j])
+				}
+				for taken.Load() < goal {
+					if !consume(d.Pop()) {
+						runtime.Gosched()
+					}
+				}
+			}
+			b.StopTimer()
+			stop.Store(true)
+			wg.Wait()
+			b.ReportMetric(float64(dups.Load())/float64(b.N), "dups/op")
+		}
+	}
 	return []namedBench{
 		{"kernels/fft-rt-abp-4096", rtKernelBench(rt.ABP, fftRT)},
 		{"kernels/mergesort-rt-dws-16384", rtKernelBench(rt.DWS, mergesortRT)},
@@ -281,7 +368,17 @@ func hotpathBattery() []namedBench {
 		}},
 		{"deque/steal-heavy-chaselev", stealHeavy(deque.New[int](stealBatch))},
 		{"deque/steal-heavy-relaxed", stealHeavy(deque.NewRelaxed[int](stealBatch))},
+		{"deque/contended-steal-chaselev", contendedSteal(deque.KindChaseLev)},
+		{"deque/contended-steal-relaxed", contendedSteal(deque.KindRelaxed)},
 		{"kernels/fft-rt-dws-relaxed-4096", rtKernelBenchEngine(rt.DWS, deque.KindRelaxed, fftRT)},
+		// The socket twin of fft-rt-dws-4096: same kernel, same machine,
+		// but with 2-core sockets so placement and two-phase victim
+		// selection are live. Gating it next to the flat entry keeps the
+		// locality path honest — it must stay alloc-identical (the victim
+		// order is precomputed per worker) and within the ns/op tolerance.
+		{"kernels/fft-rt-dws-socket-4096", rtKernelBenchCfg(rt.Config{
+			Policy: rt.DWS, Engine: deque.KindChaseLev, Topology: topo.Uniform(4, 2),
+		}, fftRT)},
 	}
 }
 
