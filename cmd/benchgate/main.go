@@ -24,6 +24,17 @@
 // makespan, or ok-rate) or loses a previously decisive p95 win over
 // another policy. -write regenerates and rewrites the baseline instead of
 // gating.
+//
+// Federation mode (the shard-router spill-over gate):
+//
+//	benchgate -federation -base BENCH_federation.json
+//	benchgate -federation -write BENCH_federation.json
+//
+// The federation suite replays the federated scenarios across 3 simulated
+// shards under every spill policy (no-spill, random, next-preferred),
+// also bit-deterministic. The gate fails when any policy's ok-rate drops
+// more than two points against the baseline or when the spill-policy
+// ranking inverts (spilling must keep beating not spilling on the storm).
 package main
 
 import (
@@ -43,15 +54,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		basePath  = fs.String("base", "BENCH_hotpath.json", "committed baseline JSON")
-		curPath   = fs.String("cur", "", "fresh run JSON (required for micro-bench mode; optional for -scenarios)")
-		nsTol     = fs.Float64("ns-tol", 0.25, "relative ns/op tolerance (0.25 = +25%)")
-		scenarios = fs.Bool("scenarios", false, "gate the scenario comparison suite instead of micro-benchmarks")
-		scTol     = fs.Float64("sc-tol", 0.10, "scenario mode: relative p95/makespan tolerance")
-		writePath = fs.String("write", "", "scenario mode: regenerate the suite and write it here instead of gating")
+		basePath   = fs.String("base", "BENCH_hotpath.json", "committed baseline JSON")
+		curPath    = fs.String("cur", "", "fresh run JSON (required for micro-bench mode; optional for -scenarios)")
+		nsTol      = fs.Float64("ns-tol", 0.25, "relative ns/op tolerance (0.25 = +25%)")
+		scenarios  = fs.Bool("scenarios", false, "gate the scenario comparison suite instead of micro-benchmarks")
+		scTol      = fs.Float64("sc-tol", 0.10, "scenario mode: relative p95/makespan tolerance")
+		federation = fs.Bool("federation", false, "gate the federated spill-over suite instead of micro-benchmarks")
+		writePath  = fs.String("write", "", "scenario/federation mode: regenerate the suite and write it here instead of gating")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *federation {
+		return runFederation(*basePath, *curPath, *writePath, stdout, stderr)
 	}
 	if *scenarios || *writePath != "" {
 		return runScenarios(*basePath, *curPath, *writePath, *scTol, stdout, stderr)
@@ -130,6 +145,50 @@ func runScenarios(basePath, curPath, writePath string, tol float64, stdout, stde
 	bad := bench.CompareScenarios(base, cur, tol)
 	if len(bad) == 0 {
 		fmt.Fprintf(stdout, "\nbenchgate: PASS (%d scenario results gated)\n", len(base.Results))
+		return 0
+	}
+	fmt.Fprintln(stdout)
+	for _, v := range bad {
+		fmt.Fprintf(stdout, "benchgate: FAIL %s\n", v)
+	}
+	return 1
+}
+
+func runFederation(basePath, curPath, writePath string, stdout, stderr io.Writer) int {
+	var cur *bench.FederationFile
+	var err error
+	if curPath != "" {
+		cur, err = bench.LoadFederationFile(curPath)
+	} else {
+		fmt.Fprintln(stdout, "benchgate: running federation suite (virtual clock)...")
+		cur, err = bench.RunFederationSuite(nil)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+
+	if writePath != "" {
+		if err := bench.WriteFederationFile(writePath, cur); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		fmt.Fprint(stdout, bench.FormatFederation(cur))
+		fmt.Fprintf(stdout, "benchgate: wrote %d results to %s\n", len(cur.Results), writePath)
+		return 0
+	}
+
+	base, err := bench.LoadFederationFile(basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "benchgate: %s vs current suite\n\n", basePath)
+	fmt.Fprint(stdout, bench.FormatFederation(cur))
+
+	bad := bench.CompareFederation(base, cur)
+	if len(bad) == 0 {
+		fmt.Fprintf(stdout, "\nbenchgate: PASS (%d federation results gated)\n", len(base.Results))
 		return 0
 	}
 	fmt.Fprintln(stdout)

@@ -54,6 +54,58 @@ func TestScenarioGateExitCodes(t *testing.T) {
 	}
 }
 
+func writeFedSuite(t *testing.T, name string, nextOK int) string {
+	t.Helper()
+	f := &bench.FederationFile{Cores: 4, Shards: 3,
+		Policies: []string{"no-spill", "random", "next-preferred"}}
+	for _, e := range []struct {
+		pol string
+		ok  int
+	}{{"no-spill", 60}, {"random", 70}, {"next-preferred", nextOK}} {
+		f.Results = append(f.Results, &scenario.Result{
+			Scenario: "storm", Policy: "DWS/" + e.pol, Substrate: "fedsim",
+			Sent: 100, OK: e.ok, Rejected: 100 - e.ok,
+		})
+		f.Spills = append(f.Spills, 10)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := bench.WriteFederationFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFederationGateExitCodes pins the federation acceptance criterion:
+// a clean run passes, an inverted spill ranking fails with exit 1.
+func TestFederationGateExitCodes(t *testing.T) {
+	base := writeFedSuite(t, "base.json", 80)
+	clean := writeFedSuite(t, "clean.json", 80)
+	inverted := writeFedSuite(t, "inverted.json", 55) // below random's 70
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-federation", "-base", base, "-cur", clean}, &out, &errOut); code != 0 {
+		t.Fatalf("clean gate: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("clean gate output missing PASS:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-federation", "-base", base, "-cur", inverted}, &out, &errOut); code != 1 {
+		t.Fatalf("inverted ranking: exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "ranking") {
+		t.Fatalf("inverted ranking output missing FAIL/ranking lines:\n%s", out.String())
+	}
+
+	// Missing baseline is a load error.
+	out.Reset()
+	if code := run([]string{"-federation", "-base", "does-not-exist.json",
+		"-cur", clean}, &out, &errOut); code != 2 {
+		t.Fatalf("missing federation baseline: exit %d, want 2", code)
+	}
+}
+
 func TestUsageAndLoadErrors(t *testing.T) {
 	var out, errOut strings.Builder
 	// Micro mode without -cur is a usage error.

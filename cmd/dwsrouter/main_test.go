@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestParseShards pins the -shards flag grammar: named members, bare
+// URLs with positional names, rejection of junk and duplicate names.
+func TestParseShards(t *testing.T) {
+	got, err := parseShards("a=http://h1:1,b=http://h2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].URL != "http://h2:2" {
+		t.Fatalf("named parse: %+v", got)
+	}
+
+	got, err = parseShards("http://h1:1, http://h2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Name != "s0" || got[1].Name != "s1" {
+		t.Fatalf("positional names: %+v", got)
+	}
+
+	got, err = parseShards("core=https://h3:3,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "core" {
+		t.Fatalf("trailing comma: %+v", got)
+	}
+
+	for _, bad := range []string{
+		"",
+		"   ",
+		"a=ftp://nope",
+		"=http://h:1",
+		"a=",
+		"a=http://h:1,a=http://h:2",
+		"not a url",
+	} {
+		if _, err := parseShards(bad); err == nil {
+			t.Errorf("parseShards(%q) accepted", bad)
+		}
+	}
+}

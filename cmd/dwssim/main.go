@@ -35,6 +35,8 @@ func main() {
 		benchIDs  = flag.String("bench", "p-1,p-8", "comma-separated Table 2 IDs (p-1..p-8)")
 		policy    = flag.String("policy", "DWS", "ABP|EP|DWS|DWS-NC|BWS|GO")
 		scenName  = flag.String("scenario", "", "replay a catalog scenario or trace file instead of -bench (closed loop)")
+		shardsN   = flag.Int("shards", 0, "scenario mode: fan the trace across K simulated federated shards (0 = single machine)")
+		spillName = flag.String("spill", "next", "federated scenario mode: spill policy on shard refusal (none|random|next)")
 		runs      = flag.Int("runs", 4, "completed runs per program")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		showTrace = flag.Bool("trace", false, "print scheduling events to stderr")
@@ -77,7 +79,11 @@ func main() {
 		cfg.CachePenalty, cfg.CacheWarmUS, cfg.LLCPenalty = *penalty, *warm, *llc
 		cfg.Seed = *seed
 		cfg.Engine = eng
-		runScenario(*scenName, cfg)
+		if *shardsN > 0 {
+			runFedScenario(*scenName, cfg, *shardsN, *spillName)
+		} else {
+			runScenario(*scenName, cfg)
+		}
 		return
 	}
 
@@ -175,6 +181,43 @@ func runScenario(name string, cfg sim.Config) {
 		fatal(err)
 	}
 	fmt.Printf("%s\n\n%s", res, res.Table())
+}
+
+// runFedScenario replays a scenario trace through K simulated federated
+// shards under the named spill policy and prints the report plus the
+// spill ledger — the virtual-clock preview of a dwsrouter deployment.
+func runFedScenario(name string, cfg sim.Config, shards int, spillName string) {
+	var (
+		tr  *scenario.Trace
+		err error
+	)
+	if strings.HasSuffix(name, ".jsonl") || strings.HasSuffix(name, ".csv") {
+		tr, err = scenario.LoadFile(name)
+	} else {
+		tr, err = scenario.CompileByName(name)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	spill, err := sim.ParseSpillPolicy(spillName)
+	if err != nil {
+		fatal(err)
+	}
+	fr, err := scenario.RunFedSim(tr, scenario.FedSimOptions{
+		Config: cfg,
+		Shards: shards,
+		Spill:  spill,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\n\n%s", fr.Result, fr.Result.Table())
+	if len(fr.Fed.Spills) > 0 {
+		fmt.Println("\nspills (from -> to):")
+		for _, sp := range fr.Fed.Spills {
+			fmt.Printf("  s%d -> s%d  %-6s %d\n", sp.From, sp.To, sp.Reason, sp.Count)
+		}
+	}
 }
 
 // engineFromFlag resolves the -engine flag: an empty value falls back to

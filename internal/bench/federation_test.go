@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dws/internal/scenario"
+)
+
+// mkFedFile builds a federation baseline with the given ok counts per
+// (scenario, spill policy), 100 jobs sent each, labels "DWS/<spill>".
+func mkFedFile(ok map[string]map[string]int) *FederationFile {
+	f := &FederationFile{Cores: 16, Shards: 3,
+		Policies: []string{"no-spill", "random", "next-preferred"}}
+	for _, sc := range []string{"storm", "calm"} {
+		pols, have := ok[sc]
+		if !have {
+			continue
+		}
+		for _, pol := range f.Policies {
+			n, have := pols[pol]
+			if !have {
+				continue
+			}
+			f.Results = append(f.Results, &scenario.Result{
+				Scenario: sc, Policy: "DWS/" + pol, Substrate: "fedsim",
+				Sent: 100, OK: n, Rejected: 100 - n,
+			})
+			f.Spills = append(f.Spills, 7)
+		}
+	}
+	return f
+}
+
+func TestCompareFederationPass(t *testing.T) {
+	base := mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 60, "random": 70, "next-preferred": 80},
+		"calm":  {"no-spill": 99, "random": 99, "next-preferred": 99},
+	})
+	cur := mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 59, "random": 70, "next-preferred": 81},
+		"calm":  {"no-spill": 99, "random": 99, "next-preferred": 99},
+	})
+	if bad := CompareFederation(base, cur); len(bad) != 0 {
+		t.Fatalf("clean run flagged: %v", bad)
+	}
+}
+
+func TestCompareFederationOKRateDrop(t *testing.T) {
+	base := mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 60, "random": 70, "next-preferred": 80}})
+	cur := mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 60, "random": 70, "next-preferred": 75}})
+	bad := CompareFederation(base, cur)
+	if len(bad) != 1 || !strings.Contains(bad[0], "ok-rate") {
+		t.Fatalf("5pp next-preferred drop not flagged: %v", bad)
+	}
+	// Two points is evolution, not a regression.
+	cur = mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 60, "random": 70, "next-preferred": 78}})
+	if bad := CompareFederation(base, cur); len(bad) != 0 {
+		t.Fatalf("2pp wiggle flagged: %v", bad)
+	}
+}
+
+func TestCompareFederationRankingBreak(t *testing.T) {
+	base := mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 60, "random": 70, "next-preferred": 80}})
+	// next-preferred falls clearly below random: spilling stopped helping.
+	cur := mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 60, "random": 70, "next-preferred": 65}})
+	bad := CompareFederation(base, cur)
+	if joined := strings.Join(bad, "\n"); !strings.Contains(joined, "ranking broke") {
+		t.Fatalf("broken spill ranking not flagged: %v", bad)
+	}
+	// A sub-slack inversion (within 1pp) does not flap the gate; the
+	// baseline is shifted too so the plain ok-rate rule stays quiet.
+	base = mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 70, "random": 70, "next-preferred": 70}})
+	cur = mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 70, "random": 70, "next-preferred": 70}})
+	cur.Results[2].OK = 69
+	cur.Results[2].Rejected = 31
+	if bad := CompareFederation(base, cur); len(bad) != 0 {
+		t.Fatalf("sub-slack inversion flagged: %v", bad)
+	}
+}
+
+func TestCompareFederationMissing(t *testing.T) {
+	base := mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 60, "random": 70, "next-preferred": 80}})
+	cur := mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 60, "next-preferred": 80}})
+	bad := CompareFederation(base, cur)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("dropped policy not flagged: %v", bad)
+	}
+}
+
+func TestFederationFileRoundTrip(t *testing.T) {
+	f := mkFedFile(map[string]map[string]int{
+		"storm": {"no-spill": 60, "random": 70, "next-preferred": 80}})
+	path := filepath.Join(t.TempDir(), "f.json")
+	if err := WriteFederationFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFederationFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 3 || got.Spills[0] != 7 || got.Shards != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	out := FormatFederation(got)
+	if !strings.Contains(out, "storm") || !strings.Contains(out, "DWS/next-preferred") ||
+		!strings.Contains(out, "spills") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	if _, err := LoadFederationFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}
+
+// TestRunFederationSuiteSmoke regenerates the suite once: every federated
+// scenario must produce one result per spill policy, the storm must
+// actually spill under next-preferred, and the run must gate cleanly
+// against itself.
+func TestRunFederationSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	var lines int
+	f, err := RunFederationSuite(func(string, ...any) { lines++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := len(FedScenarios) * len(FedPolicies)
+	if len(f.Results) != wantN || len(f.Spills) != wantN || lines != wantN {
+		t.Fatalf("suite produced %d results / %d spill tallies (%d log lines), want %d",
+			len(f.Results), len(f.Spills), lines, wantN)
+	}
+	spilled := false
+	for i, r := range f.Results {
+		if r.Sent == 0 {
+			t.Fatalf("degenerate result %v", r)
+		}
+		if r.Scenario == "overload-storm" && strings.HasSuffix(r.Policy, "/next-preferred") && f.Spills[i] > 0 {
+			spilled = true
+		}
+	}
+	if !spilled {
+		t.Fatal("overload-storm under next-preferred spilled nothing")
+	}
+	if bad := CompareFederation(f, f); len(bad) != 0 {
+		t.Fatalf("self comparison flagged: %v", bad)
+	}
+}

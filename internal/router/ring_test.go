@@ -1,0 +1,187 @@
+package router
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func shardNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%d", i)
+	}
+	return out
+}
+
+func tenantNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	return out
+}
+
+// TestRingBoundedLoadBalance is the satellite balance property: with 1k
+// tenants assigned across {2..8} shards, no shard's assigned load exceeds
+// the bounded-load ceiling ceil(c·keys/shards), so max/mean stays within
+// the load factor (plus the integer ceiling slack).
+func TestRingBoundedLoadBalance(t *testing.T) {
+	const keys = 1000
+	for n := 2; n <= 8; n++ {
+		r := NewRing(0, 0)
+		for _, s := range shardNames(n) {
+			r.Add(s)
+		}
+		for _, k := range tenantNames(keys) {
+			if r.Assign(k) == "" {
+				t.Fatalf("n=%d: key unassigned", n)
+			}
+		}
+		cap := int(math.Ceil(DefaultLoadFactor * float64(keys) / float64(n)))
+		for _, s := range r.Shards() {
+			if r.Load(s) > cap {
+				t.Errorf("n=%d: shard %s holds %d keys, bounded-load cap %d", n, s, r.Load(s), cap)
+			}
+			if r.Load(s) == 0 {
+				t.Errorf("n=%d: shard %s got no keys", n, s)
+			}
+		}
+		if r.Assigned() != keys {
+			t.Fatalf("n=%d: %d of %d keys assigned", n, r.Assigned(), keys)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin pins the consistent-hashing contract: when
+// shard N joins an N-1 shard ring, fewer than 2/N of the keys change home.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	const keys = 1000
+	tenants := tenantNames(keys)
+	for n := 3; n <= 8; n++ {
+		before := NewRing(0, 0)
+		for _, s := range shardNames(n - 1) {
+			before.Add(s)
+		}
+		after := NewRing(0, 0)
+		for _, s := range shardNames(n) {
+			after.Add(s)
+		}
+		moved := 0
+		for _, k := range tenants {
+			if before.Home(k) != after.Home(k) {
+				moved++
+			}
+		}
+		if limit := int(2.0 / float64(n) * keys); moved >= limit {
+			t.Errorf("join to n=%d moved %d/%d keys, want < %d", n, moved, keys, limit)
+		}
+		if moved == 0 {
+			t.Errorf("join to n=%d moved no keys: the new shard is invisible", n)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing one shard only moves the keys
+// it owned (< 2/N of all keys); everyone else keeps their home.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	const keys = 1000
+	tenants := tenantNames(keys)
+	for n := 3; n <= 8; n++ {
+		r := NewRing(0, 0)
+		for _, s := range shardNames(n) {
+			r.Add(s)
+		}
+		homes := map[string]string{}
+		for _, k := range tenants {
+			homes[k] = r.Home(k)
+		}
+		r.Remove("s1")
+		moved := 0
+		for _, k := range tenants {
+			h := r.Home(k)
+			if h == "s1" {
+				t.Fatalf("n=%d: removed shard still homed for %s", n, k)
+			}
+			if h != homes[k] {
+				moved++
+				if homes[k] != "s1" {
+					t.Errorf("n=%d: key %s moved %s→%s though its home never left", n, k, homes[k], h)
+				}
+			}
+		}
+		if limit := int(2.0 / float64(n) * keys); moved >= limit {
+			t.Errorf("leave from n=%d moved %d/%d keys, want < %d", n, moved, keys, limit)
+		}
+	}
+}
+
+// TestRingDeterminism: two rings built by adding the same shards in
+// different orders agree on every preference walk, and the walks match
+// golden values pinned here — FNV-64a of fixed strings has no process
+// state, so any host and any process reproduces them exactly (no
+// map-iteration-order dependence).
+func TestRingDeterminism(t *testing.T) {
+	fwd := NewRing(0, 0)
+	rev := NewRing(0, 0)
+	names := shardNames(5)
+	for i := range names {
+		fwd.Add(names[i])
+		rev.Add(names[len(names)-1-i])
+	}
+	for _, k := range tenantNames(200) {
+		pf := fmt.Sprint(fwd.Preference(k))
+		pr := fmt.Sprint(rev.Preference(k))
+		if pf != pr {
+			t.Fatalf("preference order depends on Add order for %s: %s vs %s", k, pf, pr)
+		}
+	}
+	// Golden walks: recomputing these on any process must agree.
+	golden := map[string]string{
+		"storm1": "[s0 s4 s1 s3 s2]",
+		"storm2": "[s1 s2 s3 s4 s0]",
+		"storm3": "[s3 s4 s2 s0 s1]",
+	}
+	for k, want := range golden {
+		if got := fmt.Sprint(fwd.Preference(k)); got != want {
+			t.Errorf("Preference(%q) = %s, want pinned %s", k, got, want)
+		}
+	}
+}
+
+// TestRingAssignSticky: re-assigning a key returns its recorded home even
+// after the bounded-load state shifts, and Release forgets it.
+func TestRingAssignSticky(t *testing.T) {
+	r := NewRing(0, 0)
+	for _, s := range shardNames(3) {
+		r.Add(s)
+	}
+	home := r.Assign("tenant-a")
+	for _, k := range tenantNames(50) {
+		r.Assign(k)
+	}
+	if got := r.Assign("tenant-a"); got != home {
+		t.Fatalf("tenant-a moved %s→%s without Release", home, got)
+	}
+	r.Release("tenant-a")
+	if r.Assigned() != 50 {
+		t.Fatalf("Assigned() = %d after release, want 50", r.Assigned())
+	}
+	r.Release("tenant-a") // double release is a no-op
+}
+
+// TestRingEmptyAndSingle covers the degenerate rings the router can see
+// during drain: no shards (no placement) and one shard (everything homes
+// there).
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0, 0)
+	if r.Home("x") != "" || r.Assign("x") != "" || r.Preference("x") != nil {
+		t.Fatal("empty ring must place nothing")
+	}
+	r.Add("only")
+	for _, k := range tenantNames(10) {
+		if r.Assign(k) != "only" {
+			t.Fatalf("single-shard ring sent %s elsewhere", k)
+		}
+	}
+}

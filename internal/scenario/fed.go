@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"fmt"
+
+	"dws/internal/router"
+	"dws/internal/sim"
+	"dws/internal/task"
+)
+
+// FedSimOptions configures a federated simulated replay: one catalog
+// trace fanned across K simulated shards under a spill policy, the
+// virtual-clock twin of dwsrouter over K dwsd instances.
+type FedSimOptions struct {
+	// Config is the per-shard machine; shard i runs it with Seed+i·101.
+	Config sim.Config
+	// Shards is K (≥1).
+	Shards int
+	// Spill is the redirect policy; SpillBudget caps hops (≤0 = 2).
+	Spill       sim.SpillPolicy
+	SpillBudget int
+	// SpillLatencyUS[from][to] is the inter-shard redirect delay; nil = 0.
+	SpillLatencyUS [][]int64
+	// QueueCap bounds each tenant's per-shard admission queue (≤0 = 16).
+	QueueCap int
+	// HorizonUS aborts a runaway replay; ≤0 derives a bound from the trace.
+	HorizonUS int64
+	// Admission, when non-nil, enables the WFQ front-door analog per shard;
+	// nil Weights are filled from the trace's declarations, as in RunSim.
+	Admission *sim.AdmissionOpts
+}
+
+// FedReplay is the outcome of a federated simulated replay.
+type FedReplay struct {
+	// Result is the scenario summary; its Policy label is
+	// "<policy>/<spill>" so multi-policy tables line up by spill strategy.
+	Result *Result
+	// Fed is the raw federation outcome: per-job shard/spill records and
+	// the (from, to, reason) spill ledger.
+	Fed *sim.FedResults
+	// Pref[tenant] is the ring preference walk used for placement, home
+	// first — the same walk a dwsrouter with shards named "s0".."sK-1"
+	// computes, so sim placement and live placement agree by construction.
+	Pref map[string][]int
+}
+
+// RunFedSim replays the trace through K simulated shards. Tenants are
+// placed by the router's bounded-load ring (names "s0".."sK-1"), jobs
+// follow each tenant's preference walk on refusal per the spill policy.
+// Tenant-churn traces (mid-trace joins or leaves) are rejected: the
+// federation hosts every tenant on every shard for the whole replay, so
+// churn semantics (which shard forgets the tenant, when) are not modeled.
+// Given identical trace and options the replay is bit-for-bit identical.
+func RunFedSim(tr *Trace, opts FedSimOptions) (*FedReplay, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("scenario: federation needs at least 1 shard")
+	}
+	tenants := tr.Tenants()
+	idx := map[string]int{}
+	for i, name := range tenants {
+		idx[name] = i
+	}
+
+	weights := make([]float64, len(tenants))
+	for i := range weights {
+		weights[i] = 1
+	}
+	var jobs []sim.FedJob
+	graphs := map[string]*task.Graph{}
+	anyWeight := false
+	for _, e := range tr.Events {
+		if e.Weight > 0 {
+			weights[idx[e.Tenant]] = e.Weight
+			anyWeight = anyWeight || e.Weight != 1
+		}
+		switch e.Op {
+		case OpJoin:
+			if e.AtUS > 0 {
+				return nil, fmt.Errorf("scenario: trace %q joins tenant %s mid-replay at %dµs; the federation does not model churn",
+					tr.Name, e.Tenant, e.AtUS)
+			}
+		case OpLeave:
+			return nil, fmt.Errorf("scenario: trace %q removes tenant %s; the federation does not model churn",
+				tr.Name, e.Tenant)
+		case OpJob:
+			key := fmt.Sprintf("%s@%s", e.Kernel, ftoa(e.Scale))
+			g := graphs[key]
+			if g == nil {
+				b, err := resolveKernel(e.Kernel)
+				if err != nil {
+					return nil, err
+				}
+				g = b.Make(e.Scale)
+				graphs[key] = g
+			}
+			jobs = append(jobs, sim.FedJob{
+				Tenant:     idx[e.Tenant],
+				AtUS:       e.AtUS,
+				Graph:      g,
+				DeadlineUS: e.DeadlineUS,
+			})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("scenario: trace %q has no job events", tr.Name)
+	}
+
+	// Placement: the same ring a dwsrouter over shards "s0".."sK-1" builds.
+	ring := router.NewRing(0, 0)
+	shardIdx := map[string]int{}
+	for s := 0; s < opts.Shards; s++ {
+		name := fmt.Sprintf("s%d", s)
+		ring.Add(name)
+		shardIdx[name] = s
+	}
+	pref := make([][]int, len(tenants))
+	prefByName := map[string][]int{}
+	for i, name := range tenants {
+		home := ring.Assign(name)
+		walk := []int{shardIdx[home]}
+		for _, s := range ring.Preference(name) {
+			if s != home {
+				walk = append(walk, shardIdx[s])
+			}
+		}
+		pref[i] = walk
+		prefByName[name] = walk
+	}
+
+	cfg := opts.Config
+	if cfg.Policy == sim.DWS && anyWeight {
+		cfg.Weights = weights
+		if cfg.ArbiterPeriodUS <= 0 {
+			cfg.ArbiterPeriodUS = defaultArbiterPeriodUS
+		}
+	}
+	anchors := make([]*task.Graph, len(tenants))
+	for i, name := range tenants {
+		anchors[i] = &task.Graph{Name: name, Root: task.Leaf(1)}
+	}
+	horizon := opts.HorizonUS
+	if horizon <= 0 {
+		last := tr.Events[len(tr.Events)-1].AtUS
+		horizon = last*10 + 600_000_000
+	}
+	var admission *sim.AdmissionOpts
+	if opts.Admission != nil {
+		a := *opts.Admission
+		if a.Weights == nil {
+			a.Weights = weights
+		}
+		admission = &a
+	}
+
+	fed, err := sim.RunFederation(sim.FedOpts{
+		Cfg:            cfg,
+		Shards:         opts.Shards,
+		Programs:       anchors,
+		Jobs:           jobs,
+		Pref:           pref,
+		Spill:          opts.Spill,
+		SpillBudget:    opts.SpillBudget,
+		SpillLatencyUS: opts.SpillLatencyUS,
+		QueueCap:       opts.QueueCap,
+		Admission:      admission,
+		HorizonUS:      horizon,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: federated replay of %q (%d shards, %v): %w",
+			tr.Name, opts.Shards, opts.Spill, err)
+	}
+
+	outcomes := make([]Outcome, 0, len(fed.Outcomes))
+	for _, o := range fed.Outcomes {
+		oc := Outcome{Tenant: tenants[o.Tenant], Status: o.Status.String()}
+		if o.DoneUS >= 0 {
+			oc.LatencyMS = float64(o.DoneUS-o.AtUS) / 1000
+		}
+		outcomes = append(outcomes, oc)
+	}
+	label := fmt.Sprintf("%s/%s", cfg.Policy, opts.Spill)
+	res := Summarize(tr.Name, label, "fedsim", outcomes, float64(fed.EndTimeUS)/1000)
+	return &FedReplay{Result: res, Fed: fed, Pref: prefByName}, nil
+}

@@ -12,10 +12,22 @@ import (
 	"dws/internal/server"
 )
 
-// LiveOptions configures a replay against a running dwsd server.
+// LiveOptions configures a replay against a running dwsd server — or, via
+// Targets, a set of them (federated shards addressed directly, or one
+// dwsrouter front tier which looks like a single big dwsd).
 type LiveOptions struct {
-	// BaseURL is the server root, e.g. "http://localhost:8080".
+	// BaseURL is the server root, e.g. "http://localhost:8080". Ignored
+	// when Targets is set.
 	BaseURL string
+	// Targets, when non-empty, lists shard roots; each tenant's jobs all go
+	// to one target chosen by PickTarget (tenant stickiness — splitting one
+	// tenant across shards would split its WFQ history). A single-element
+	// Targets is exactly BaseURL behavior.
+	Targets []string
+	// PickTarget maps a tenant to an index into Targets; nil defaults to an
+	// FNV-1a hash of the tenant name, the same keyed placement the router's
+	// ring uses (minus bounded loads).
+	PickTarget func(tenant string, targets []string) int
 	// Client is the HTTP client (nil = a client with a 5-minute per-job
 	// timeout).
 	Client *http.Client
@@ -48,13 +60,33 @@ func RunLive(tr *Trace, opts LiveOptions) (*Result, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-
-	info, err := fetchInfo(client, opts.BaseURL)
-	if err != nil {
-		return nil, fmt.Errorf("scenario: %s unreachable: %w", opts.BaseURL, err)
+	targets := opts.Targets
+	if len(targets) == 0 {
+		targets = []string{opts.BaseURL}
 	}
-	logf("replaying %q against %s: policy=%s cores=%d timescale=%g",
-		tr.Name, opts.BaseURL, info.Policy, info.Cores, opts.TimeScale)
+	pick := opts.PickTarget
+	if pick == nil {
+		pick = defaultPickTarget
+	}
+	// target resolves a tenant to its sticky shard root; with one target
+	// every tenant lands on it and the replay is the single-server replay.
+	target := func(tenant string) string {
+		if len(targets) == 1 {
+			return targets[0]
+		}
+		i := pick(tenant, targets)
+		if i < 0 || i >= len(targets) {
+			i = 0
+		}
+		return targets[i]
+	}
+
+	info, err := fetchInfo(client, targets[0])
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s unreachable: %w", targets[0], err)
+	}
+	logf("replaying %q against %d target(s) [%s ...]: policy=%s cores=%d timescale=%g",
+		tr.Name, len(targets), targets[0], info.Policy, info.Cores, opts.TimeScale)
 
 	// Kernel refs resolve to server catalog names up front so a typo fails
 	// before any job fires.
@@ -100,7 +132,7 @@ func RunLive(tr *Trace, opts LiveOptions) (*Result, error) {
 			if tw := tenantWG[e.Tenant]; tw != nil {
 				tw.Wait() // drain the tenant's in-flight jobs before deleting it
 			}
-			if err := deleteTenant(client, opts.BaseURL, e.Tenant); err != nil {
+			if err := deleteTenant(client, target(e.Tenant), e.Tenant); err != nil {
 				logf("leave %s: %v", e.Tenant, err)
 			}
 		case OpJob:
@@ -125,7 +157,7 @@ func RunLive(tr *Trace, opts LiveOptions) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				defer tw.Done()
-				record(fireJob(client, opts.BaseURL, req))
+				record(fireJob(client, target(req.Tenant), req))
 			}()
 		}
 	}
@@ -134,6 +166,16 @@ func RunLive(tr *Trace, opts LiveOptions) (*Result, error) {
 	defer mu.Unlock()
 	makespanMS := float64(lastDone.Sub(start)) / float64(time.Millisecond)
 	return Summarize(tr.Name, info.Policy, "live", outcomes, makespanMS), nil
+}
+
+// defaultPickTarget is tenant-keyed FNV-1a placement across targets.
+func defaultPickTarget(tenant string, targets []string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(targets)))
 }
 
 // fireJob posts one job and classifies the response.

@@ -131,19 +131,21 @@ func TestTraceValidateRejects(t *testing.T) {
 		}}
 	}
 	cases := map[string]func(*Trace){
-		"bad version":      func(tr *Trace) { tr.Version = 99 },
-		"bad name":         func(tr *Trace) { tr.Name = "has space" },
-		"no events":        func(tr *Trace) { tr.Events = nil },
-		"out of order":     func(tr *Trace) { tr.Events = append(tr.Events, Event{AtUS: -1, Tenant: "a", Op: OpJob, Kernel: "p-1", Scale: 1}) },
-		"empty tenant":     func(tr *Trace) { tr.Events[0].Tenant = "" },
-		"no kernel":        func(tr *Trace) { tr.Events[0].Kernel = "" },
-		"zero scale":       func(tr *Trace) { tr.Events[0].Scale = 0 },
-		"neg deadline":     func(tr *Trace) { tr.Events[0].DeadlineUS = -1 },
-		"neg weight":       func(tr *Trace) { tr.Events[0].Weight = -1 },
-		"unknown op":       func(tr *Trace) { tr.Events[0].Op = "zap" },
-		"join fields":      func(tr *Trace) { tr.Events[0].Op = OpJoin },
-		"double join":      func(tr *Trace) { tr.Events = append(tr.Events, Event{AtUS: 1, Tenant: "a", Op: OpJoin}) },
-		"leave absent":     func(tr *Trace) { tr.Events = append(tr.Events, Event{AtUS: 1, Tenant: "x", Op: OpLeave}) },
+		"bad version": func(tr *Trace) { tr.Version = 99 },
+		"bad name":    func(tr *Trace) { tr.Name = "has space" },
+		"no events":   func(tr *Trace) { tr.Events = nil },
+		"out of order": func(tr *Trace) {
+			tr.Events = append(tr.Events, Event{AtUS: -1, Tenant: "a", Op: OpJob, Kernel: "p-1", Scale: 1})
+		},
+		"empty tenant": func(tr *Trace) { tr.Events[0].Tenant = "" },
+		"no kernel":    func(tr *Trace) { tr.Events[0].Kernel = "" },
+		"zero scale":   func(tr *Trace) { tr.Events[0].Scale = 0 },
+		"neg deadline": func(tr *Trace) { tr.Events[0].DeadlineUS = -1 },
+		"neg weight":   func(tr *Trace) { tr.Events[0].Weight = -1 },
+		"unknown op":   func(tr *Trace) { tr.Events[0].Op = "zap" },
+		"join fields":  func(tr *Trace) { tr.Events[0].Op = OpJoin },
+		"double join":  func(tr *Trace) { tr.Events = append(tr.Events, Event{AtUS: 1, Tenant: "a", Op: OpJoin}) },
+		"leave absent": func(tr *Trace) { tr.Events = append(tr.Events, Event{AtUS: 1, Tenant: "x", Op: OpLeave}) },
 		"job after leave": func(tr *Trace) {
 			tr.Events = append(tr.Events,
 				Event{AtUS: 1, Tenant: "a", Op: OpLeave},
@@ -189,8 +191,12 @@ func TestSpecValidateRejects(t *testing.T) {
 		func(s *Spec) { s.Tenants[0].Kernel = "" },
 		func(s *Spec) { s.Tenants[0].Arrival.RateHz = 0 },
 		func(s *Spec) { s.Tenants[0].Arrival.Kind = "warp" },
-		func(s *Spec) { s.Tenants[0].Arrival = Arrival{Kind: ArriveBursty, RateHz: 10, BurstFactor: 1, BurstFrac: 0.5} },
-		func(s *Spec) { s.Tenants[0].Arrival = Arrival{Kind: ArriveBursty, RateHz: 10, BurstFactor: 4, BurstFrac: 0.5} },
+		func(s *Spec) {
+			s.Tenants[0].Arrival = Arrival{Kind: ArriveBursty, RateHz: 10, BurstFactor: 1, BurstFrac: 0.5}
+		},
+		func(s *Spec) {
+			s.Tenants[0].Arrival = Arrival{Kind: ArriveBursty, RateHz: 10, BurstFactor: 4, BurstFrac: 0.5}
+		},
 		func(s *Spec) { s.Tenants[0].Arrival = Arrival{Kind: ArriveDiurnal, RateHz: 10} },
 		func(s *Spec) { s.Tenants[0].Size.Mean = 0 },
 		func(s *Spec) { s.Tenants[0].Size = Size{Kind: SizePareto, Mean: 1, Alpha: 1} },

@@ -152,12 +152,7 @@ func (a *admission) submit(t *tenant, j *job, deadline time.Duration) (verdict a
 	if backlog >= t.depth {
 		return admitQueueFull, retryAfterHint(ewma, backlog), nil
 	}
-	cost := ewma.Seconds()
-	if ewma == 0 {
-		// No history yet: charge the server-wide average run time (0 when
-		// the whole server is cold, which wfq maps to DefaultCost).
-		cost = time.Duration(a.fallbackNanos.Load()).Seconds()
-	}
+	cost := a.jobCost(t, j, ewma)
 	if a.globalCap > 0 && a.q.Total() >= a.globalCap {
 		fNew := a.q.TagPreview(t.flow, cost)
 		_, fMax, ok := a.q.PeekMaxTail()
@@ -171,6 +166,27 @@ func (a *admission) submit(t *tenant, j *job, deadline time.Duration) (verdict a
 	a.q.Enqueue(t.flow, j, cost)
 	a.cond.Broadcast()
 	return admitOK, 0, victim
+}
+
+// jobCost prices one job for the WFQ: the tenant's run-time EWMA scaled
+// by the job's declared size relative to the tenant's size EWMA — run
+// time per unit size times the size actually submitted. A tenant whose
+// sizes never vary has size/sizeEWMA exactly 1 (the EWMA of a constant is
+// that constant), so its tags are bit-identical to size-blind costing;
+// a tenant interleaving big and small jobs pays proportionally, which is
+// what keeps a mixed-size flow from billing its double-size jobs at the
+// averaged rate and squeezing out equal-weight single-size neighbors.
+func (a *admission) jobCost(t *tenant, j *job, ewma time.Duration) float64 {
+	cost := ewma.Seconds()
+	if ewma == 0 {
+		// No history yet: charge the server-wide average run time (0 when
+		// the whole server is cold, which wfq maps to DefaultCost).
+		cost = time.Duration(a.fallbackNanos.Load()).Seconds()
+	}
+	if szAvg := t.sizeEWMA(); szAvg > 0 && j.size > 0 {
+		cost *= j.size / szAvg
+	}
+	return cost
 }
 
 // observeCost folds one completed run into the server-wide fallback

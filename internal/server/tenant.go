@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -61,6 +62,12 @@ type tenant struct {
 	// time — the WFQ service cost, the early-rejection wait predictor,
 	// and the Retry-After hint all derive from it.
 	runEWMANanos atomic.Int64
+	// sizeEWMABits (float64 bits) tracks the EWMA of declared job sizes
+	// over the same completed runs, so admission can price a job's WFQ
+	// cost as runEWMA × size/sizeEWMA: run time per unit size times the
+	// size actually declared. Workloads whose sizes never vary keep the
+	// ratio exactly 1 and their tags bit-identical to size-blind costing.
+	sizeEWMABits atomic.Uint64
 
 	exited chan struct{} // closed when the runner has drained and stopped
 }
@@ -163,7 +170,7 @@ func (t *tenant) serve(j *job) {
 		Stats: FromRTStats(t.prog.Stats()).Sub(before),
 	}
 	t.jobsServed.Add(1)
-	t.observeRun(runDur)
+	t.observeRun(runDur, j.size)
 	s.mJobs.With(t.name, j.spec.Name, status).Inc()
 	s.mQueueWait.With(t.name).Observe(queueWait.Seconds())
 	s.mRunTime.With(j.spec.Name).Observe(runDur.Seconds())
@@ -171,16 +178,39 @@ func (t *tenant) serve(j *job) {
 	close(j.done)
 }
 
-// observeRun folds one run duration into the tenant EWMA (α = 1/4) and
-// the server-wide fallback EWMA that costs history-less tenants.
-func (t *tenant) observeRun(d time.Duration) {
+// observeRun folds one run duration and its declared size into the
+// tenant EWMAs (α = 1/4) and the server-wide fallback EWMA that costs
+// history-less tenants.
+func (t *tenant) observeRun(d time.Duration, size float64) {
 	t.srv.adm.observeCost(d)
 	prev := t.runEWMANanos.Load()
 	if prev == 0 {
 		t.runEWMANanos.Store(int64(d))
+	} else {
+		t.runEWMANanos.Store(prev + (int64(d)-prev)/4)
+	}
+	t.foldSizeEWMA(size)
+}
+
+// sizeEWMA returns the tenant's declared-size EWMA (0 = no history).
+func (t *tenant) sizeEWMA() float64 {
+	return math.Float64frombits(t.sizeEWMABits.Load())
+}
+
+// foldSizeEWMA folds one declared size into the size EWMA. A constant
+// size is a fixed point (prev + (x−prev)/4 = prev when x = prev), which
+// is what keeps equal-size workloads' admission costs bit-identical to
+// the size-blind path.
+func (t *tenant) foldSizeEWMA(size float64) {
+	if size <= 0 {
 		return
 	}
-	t.runEWMANanos.Store(prev + (int64(d)-prev)/4)
+	prev := t.sizeEWMA()
+	if prev == 0 {
+		t.sizeEWMABits.Store(math.Float64bits(size))
+		return
+	}
+	t.sizeEWMABits.Store(math.Float64bits(prev + (size-prev)/4))
 }
 
 // queueLen reports the tenant's current admission backlog.

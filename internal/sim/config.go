@@ -111,6 +111,16 @@ type Config struct {
 	// across the interconnect). Charged on top of the per-attempt
 	// StealCostUS; 0 on a single-socket machine by construction.
 	RemoteStealPenaltyUS int64
+	// SocketLatencyUS, when non-nil, generalizes RemoteStealPenaltyUS to a
+	// full per-(src,dst) latency matrix: a successful steal whose victim
+	// runs on socket src and whose thief runs on socket dst is charged
+	// SocketLatencyUS[src][dst] µs on top of the per-attempt StealCostUS.
+	// Diagonal entries price same-socket steals (the flat default charges
+	// 0), so asymmetric interconnects — NUMA hops, inter-machine spill
+	// links — are expressible. Must be square with one row per socket;
+	// entries must be non-negative. nil preserves the flat
+	// RemoteStealPenaltyUS behaviour bit for bit.
+	SocketLatencyUS [][]int64
 	// StealYieldUS is the pause a thief inserts between failed steal
 	// attempts once it has scanned every victim without success (MIT Cilk
 	// thieves yield in their steal loop). Together with TSleep it sets the
@@ -285,6 +295,24 @@ func (c *Config) Validate() error {
 			}
 		}
 	}
+	if c.SocketLatencyUS != nil {
+		sockets := (c.Cores + c.SocketSize - 1) / c.SocketSize
+		if len(c.SocketLatencyUS) != sockets {
+			return fmt.Errorf("%w: SocketLatencyUS has %d rows for %d sockets",
+				ErrBadConfig, len(c.SocketLatencyUS), sockets)
+		}
+		for i, row := range c.SocketLatencyUS {
+			if len(row) != sockets {
+				return fmt.Errorf("%w: SocketLatencyUS row %d has %d entries for %d sockets",
+					ErrBadConfig, i, len(row), sockets)
+			}
+			for j, v := range row {
+				if v < 0 {
+					return fmt.Errorf("%w: negative SocketLatencyUS[%d][%d]", ErrBadConfig, i, j)
+				}
+			}
+		}
+	}
 	if c.ArbiterPeriodUS < 0 {
 		c.ArbiterPeriodUS = 0
 	}
@@ -300,6 +328,18 @@ func (c *Config) Validate() error {
 		c.MaxEvents = 200_000_000
 	}
 	return nil
+}
+
+// stealPenalty returns the latency surcharge of a successful steal whose
+// victim runs on socket src and whose thief runs on socket dst.
+func (c *Config) stealPenalty(src, dst int) int64 {
+	if c.SocketLatencyUS != nil {
+		return c.SocketLatencyUS[src][dst]
+	}
+	if src != dst {
+		return c.RemoteStealPenaltyUS
+	}
+	return 0
 }
 
 // speed returns core's relative compute speed.

@@ -45,6 +45,16 @@ type Machine struct {
 	jobsOutstanding int
 	jobLog          []JobOutcome
 
+	// Federated open-loop state (RunFederation): fedMode keeps the machine
+	// from self-stopping when its local job count hits zero (the driver
+	// injects jobs over time and owns termination); fedQueueCap is the
+	// per-program pending bound for driver-injected jobs; fedShed, when
+	// non-nil, intercepts shed jobs so the driver can spill them to a
+	// sibling shard instead of logging a terminal outcome here.
+	fedMode     bool
+	fedQueueCap int
+	fedShed     func(p *Program, j *openJob)
+
 	// WFQ admission analog (OpenOpts.Admission): when adm is non-nil, job
 	// backlog lives in one weighted fair queue across programs instead of
 	// the per-program pending FIFOs, with the server's shed and
@@ -473,11 +483,10 @@ func (m *Machine) stealLoop(w *Worker) {
 				w.failedSteals = 0
 				w.passSteal = true
 				p.stats.Steals++
-				lat := int64(a) * cfg.StealCostUS
+				lat := int64(a)*cfg.StealCostUS + cfg.stealPenalty(v.socket, w.socket)
 				if v.socket != w.socket {
 					p.stats.RemoteSteals++
 					v.robbedFrom = w.socket
-					lat += cfg.RemoteStealPenaltyUS
 				} else {
 					p.stats.LocalSteals++
 				}

@@ -387,8 +387,15 @@ func (m *Machine) jobFinished(p *Program, w *Worker) {
 }
 
 // jobDone records a terminal outcome and stops the machine when the last
-// job resolves.
+// job resolves. In federated mode a shed job is handed back to the
+// federation driver for spill-over instead of being logged as terminal,
+// and the machine never self-stops — the driver owns termination.
 func (m *Machine) jobDone(p *Program, j *openJob, st JobStatus) {
+	if m.fedShed != nil && st == JobShed {
+		m.jobsOutstanding--
+		m.fedShed(p, j)
+		return
+	}
 	done := int64(-1)
 	if st == JobOK || st == JobLate {
 		done = m.now
@@ -402,7 +409,7 @@ func (m *Machine) jobDone(p *Program, j *openJob, st JobStatus) {
 		DoneUS:  done,
 	})
 	m.jobsOutstanding--
-	if m.jobsOutstanding == 0 {
+	if m.jobsOutstanding == 0 && !m.fedMode {
 		m.stopped = true
 	}
 }

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dws/internal/task"
+)
+
+// TestSocketLatencyFlatEquivalence pins the compatibility contract: a
+// matrix with zeros on the diagonal and RemoteStealPenaltyUS off it is
+// the flat model spelled out, so results must be bit-identical to nil.
+func TestSocketLatencyFlatEquivalence(t *testing.T) {
+	run := func(mat [][]int64) *Results {
+		cfg := DefaultConfig()
+		cfg.Cores = 8
+		cfg.SocketSize = 4
+		cfg.Seed = 5
+		cfg.SocketLatencyUS = mat
+		a := &task.Graph{Name: "a", Root: task.DivideAndConquer(6, 2, 800, 5, 10), MemIntensity: 0.4}
+		b := &task.Graph{Name: "b", Root: task.IterativeFor(30, 16, 600, 5), MemIntensity: 0.6}
+		m := mustMachine(t, cfg, []*task.Graph{a, b})
+		res, err := m.Run(RunOpts{TargetRuns: 4, HorizonUS: 60_000_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flat := DefaultConfig().RemoteStealPenaltyUS
+	spelled := run([][]int64{{0, flat}, {flat, 0}})
+	implicit := run(nil)
+	if !reflect.DeepEqual(spelled, implicit) {
+		t.Fatal("explicit flat matrix diverges from nil SocketLatencyUS")
+	}
+}
+
+// TestSocketLatencySlowsCrossSocketWork: pricing the cross-socket hop far
+// above the flat penalty cannot finish the same workload earlier, and the
+// steal mix still records remote steals as remote.
+func TestSocketLatencySlowsCrossSocketWork(t *testing.T) {
+	run := func(remoteUS int64) *Results {
+		cfg := DefaultConfig()
+		cfg.Cores = 8
+		cfg.SocketSize = 4
+		cfg.Seed = 3
+		cfg.SocketLatencyUS = [][]int64{{0, remoteUS}, {remoteUS, 0}}
+		// One program, all cores: plenty of cross-socket stealing.
+		a := &task.Graph{Name: "a", Root: task.DivideAndConquer(9, 2, 500, 5, 10)}
+		m := mustMachine(t, cfg, []*task.Graph{a})
+		res, err := m.Run(RunOpts{TargetRuns: 3, HorizonUS: 600_000_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cheap := run(0)
+	dear := run(5_000)
+	if dear.Programs[0].Stats.RemoteSteals == 0 {
+		t.Fatal("no remote steals: the matrix price is untested")
+	}
+	if dear.EndTimeUS < cheap.EndTimeUS {
+		t.Fatalf("5ms cross-socket hops finished at %dµs, faster than free hops at %dµs",
+			dear.EndTimeUS, cheap.EndTimeUS)
+	}
+}
+
+// TestSocketLatencyValidation: the matrix must be sockets×sockets and
+// non-negative.
+func TestSocketLatencyValidation(t *testing.T) {
+	mk := func(mat [][]int64) error {
+		cfg := DefaultConfig()
+		cfg.Cores = 8
+		cfg.SocketSize = 4 // 2 sockets
+		cfg.SocketLatencyUS = mat
+		return cfg.Validate()
+	}
+	if err := mk([][]int64{{0, 1}, {1, 0}}); err != nil {
+		t.Fatalf("valid 2×2 matrix refused: %v", err)
+	}
+	for name, mat := range map[string][][]int64{
+		"wrong rows": {{0, 1}},
+		"ragged":     {{0, 1}, {1}},
+		"negative":   {{0, -1}, {1, 0}},
+	} {
+		if err := mk(mat); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: got %v, want ErrBadConfig", name, err)
+		}
+	}
+	// Partial trailing socket still counts: 6 cores of size 4 is 2 sockets.
+	cfg := DefaultConfig()
+	cfg.Cores = 6
+	cfg.SocketSize = 4
+	cfg.SocketLatencyUS = [][]int64{{0, 7}, {7, 0}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("2-socket matrix for 6 cores refused: %v", err)
+	}
+}
